@@ -1,0 +1,115 @@
+// Command iorbench runs the simulated IOR benchmark with explicit
+// parameters against any machine/file-system combination of the paper's
+// testbed.
+//
+// Examples:
+//
+//	iorbench -machine Lassen -fs gpfs -nodes 32 -ppn 44 -workload analytics
+//	iorbench -machine Wombat -fs vast -nodes 1 -ppn 32 -workload scientific -fsync
+//	iorbench -machine Quartz -fs vast -block 1m -xfer 1m -segments 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	storagesim "storagesim"
+	"storagesim/internal/experiments"
+	"storagesim/internal/ior"
+	"storagesim/internal/units"
+	"storagesim/internal/workloads"
+)
+
+func main() {
+	machine := flag.String("machine", "Lassen", "Lassen, Ruby, Quartz or Wombat")
+	fs := flag.String("fs", "vast", "vast, gpfs, lustre, nvme or unifyfs (Wombat)")
+	nodes := flag.Int("nodes", 1, "compute nodes")
+	ppn := flag.Int("ppn", 8, "processes per node")
+	workload := flag.String("workload", "scientific", "scientific (seq write), analytics (seq read) or ml (random read)")
+	block := flag.String("block", "1m", "block size per segment (IOR -b)")
+	xfer := flag.String("xfer", "1m", "transfer size (IOR -t)")
+	segments := flag.Int("segments", 128, "segments (IOR -s)")
+	fsync := flag.Bool("fsync", false, "fsync after every write")
+	reorder := flag.Bool("reorder", true, "reorder tasks so readers do not read their own writes (IOR -C)")
+	shared := flag.Bool("shared", false, "N-1 shared-file layout (the paper's avoided mode)")
+	app := flag.String("app", "", "application preset (cm1, hacc, bdcats, kmeans, oocsort) overriding pattern flags")
+	reps := flag.Int("reps", 1, "repetitions")
+	seed := flag.Uint64("seed", 42, "seed")
+	bottlenecks := flag.Int("bottlenecks", 0, "report the N busiest pipes after the run (what limited the number)")
+	flag.Parse()
+
+	var cfg storagesim.IORConfig
+	if *app != "" {
+		w, err := workloads.ByName(*app, *ppn)
+		if err != nil {
+			fail(err)
+		}
+		if w.Kind != workloads.IORKind {
+			fail(fmt.Errorf("%q is a DLIO workload; use dliobench", *app))
+		}
+		cfg = w.IOR
+		fmt.Printf("# %s: %s\n", w.Name, w.Description)
+	} else {
+		wl, err := parseWorkload(*workload)
+		if err != nil {
+			fail(err)
+		}
+		blockBytes, err := units.ParseBytes(*block)
+		if err != nil {
+			fail(err)
+		}
+		xferBytes, err := units.ParseBytes(*xfer)
+		if err != nil {
+			fail(err)
+		}
+		cfg = storagesim.IORConfig{
+			Workload:     wl,
+			BlockSize:    int64(blockBytes),
+			TransferSize: int64(xferBytes),
+			Segments:     *segments,
+			ProcsPerNode: *ppn,
+			Fsync:        *fsync,
+			ReorderTasks: *reorder,
+			SharedFile:   *shared,
+			Dir:          "/iorbench",
+		}
+	}
+
+	for rep := 0; rep < *reps; rep++ {
+		cfg.Seed = *seed + uint64(rep)
+		res, top, err := experiments.RunIORWithBottlenecks(*machine, experiments.FS(strings.ToLower(*fs)),
+			*nodes, cfg, *bottlenecks)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("rep=%d machine=%s fs=%s nodes=%d ppn=%d workload=%s fsync=%v shared=%v\n",
+			rep, *machine, *fs, *nodes, cfg.ProcsPerNode, cfg.Workload, cfg.Fsync, cfg.SharedFile)
+		fmt.Printf("  write: %10s aggregate (%v)\n", units.BPS(res.WriteBW), res.WriteTime)
+		if cfg.Workload != ior.Scientific {
+			fmt.Printf("  read:  %10s aggregate (%v)\n", units.BPS(res.ReadBW), res.ReadTime)
+		}
+		for i, pu := range top {
+			fmt.Printf("  bottleneck %d: %-40s %5.1f%% of %s\n",
+				i+1, pu.Name, 100*pu.Utilization, units.BPS(pu.Capacity))
+		}
+	}
+}
+
+func parseWorkload(s string) (ior.Workload, error) {
+	switch strings.ToLower(s) {
+	case "scientific", "write", "seq-write":
+		return ior.Scientific, nil
+	case "analytics", "read", "seq-read":
+		return ior.Analytics, nil
+	case "ml", "random", "random-read":
+		return ior.ML, nil
+	}
+	return 0, fmt.Errorf("unknown workload %q", s)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "iorbench:", err)
+	os.Exit(1)
+}

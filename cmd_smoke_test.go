@@ -1,0 +1,102 @@
+package storagesim_test
+
+// End-to-end CLI smoke tests: build every command and run it with quick
+// arguments, asserting on the output. These catch flag-wiring and
+// rendering regressions that unit tests of the libraries cannot.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCmds compiles all commands once into a temp dir.
+func buildCmds(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	for _, name := range []string{"paperfigs", "iorbench", "dliobench", "tracestat", "mdbench"} {
+		out := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
+		cmd.Env = os.Environ()
+		if b, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", name, err, b)
+		}
+	}
+	return dir
+}
+
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	b, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", bin, args, err, b)
+	}
+	return string(b)
+}
+
+func TestCommandsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := buildCmds(t)
+
+	out := run(t, filepath.Join(dir, "paperfigs"), "-fig", "table1")
+	if !strings.Contains(out, "Lassen") || !strings.Contains(out, "Wombat") {
+		t.Fatalf("paperfigs table1 output:\n%s", out)
+	}
+
+	out = run(t, filepath.Join(dir, "paperfigs"), "-fig", "1")
+	if !strings.Contains(out, "CNodes") || !strings.Contains(out, "NSD servers") {
+		t.Fatalf("paperfigs fig1 output:\n%s", out)
+	}
+
+	out = run(t, filepath.Join(dir, "iorbench"),
+		"-machine", "Wombat", "-fs", "vast", "-nodes", "1", "-ppn", "8",
+		"-workload", "analytics", "-segments", "64", "-bottlenecks", "2")
+	if !strings.Contains(out, "read:") || !strings.Contains(out, "bottleneck 1:") {
+		t.Fatalf("iorbench output:\n%s", out)
+	}
+
+	out = run(t, filepath.Join(dir, "iorbench"),
+		"-machine", "Lassen", "-fs", "gpfs", "-nodes", "1", "-app", "cm1")
+	if !strings.Contains(out, "CM1") {
+		t.Fatalf("iorbench -app output:\n%s", out)
+	}
+
+	traceFile := filepath.Join(dir, "run.json")
+	out = run(t, filepath.Join(dir, "dliobench"),
+		"-model", "custom", "-samples", "64", "-sample-size", "1m",
+		"-fs", "gpfs", "-nodes", "1", "-trace", traceFile)
+	if !strings.Contains(out, "app throughput") {
+		t.Fatalf("dliobench output:\n%s", out)
+	}
+	if _, err := os.Stat(traceFile); err != nil {
+		t.Fatalf("trace file missing: %v", err)
+	}
+
+	out = run(t, filepath.Join(dir, "tracestat"), traceFile)
+	if !strings.Contains(out, "non-overlapping") {
+		t.Fatalf("tracestat output:\n%s", out)
+	}
+
+	out = run(t, filepath.Join(dir, "tracestat"),
+		"-project", "vast", "-machine", "Lassen", "-nodes", "1", traceFile)
+	if !strings.Contains(out, "projected onto vast") || !strings.Contains(out, "speedup") {
+		t.Fatalf("tracestat -project output:\n%s", out)
+	}
+
+	out = run(t, filepath.Join(dir, "mdbench"),
+		"-machine", "Ruby", "-fs", "lustre", "-nodes", "1", "-ppn", "4", "-files", "32")
+	if !strings.Contains(out, "creates:") || !strings.Contains(out, "removes:") {
+		t.Fatalf("mdbench output:\n%s", out)
+	}
+
+	csvDir := filepath.Join(dir, "csv")
+	run(t, filepath.Join(dir, "paperfigs"), "-fig", "takeaways", "-quick", "-csv", csvDir)
+	if _, err := os.Stat(filepath.Join(csvDir, "takeaway-rdma-vs-tcp.csv")); err != nil {
+		t.Fatalf("csv export missing: %v", err)
+	}
+}

@@ -1,0 +1,67 @@
+package storagesim_test
+
+import (
+	"fmt"
+
+	storagesim "storagesim"
+)
+
+// ExampleNew runs the paper's headline comparison in a few lines: the same
+// IOR workload against the TCP-gateway VAST deployment and GPFS.
+func ExampleNew() {
+	for _, fs := range []string{"vast", "gpfs"} {
+		s := storagesim.New()
+		cl, err := s.Cluster("Lassen", 2)
+		if err != nil {
+			panic(err)
+		}
+		var mounts []storagesim.Client
+		if fs == "vast" {
+			mounts = storagesim.MountAll(storagesim.VASTOnLassen(cl), cl)
+		} else {
+			mounts = storagesim.MountAll(storagesim.GPFSOnLassen(cl), cl)
+		}
+		res, err := storagesim.RunIOR(s.Env, mounts, storagesim.IORConfig{
+			Workload: storagesim.Scientific, BlockSize: 1 << 20,
+			TransferSize: 1 << 20, Segments: 128, ProcsPerNode: 44, Dir: "/ex",
+		})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s write: %.1f GB/s\n", fs, res.WriteBW/1e9)
+	}
+	// Output:
+	// vast write: 2.2 GB/s
+	// gpfs write: 5.0 GB/s
+}
+
+// ExampleRunDLIO trains the paper's ResNet-50 configuration on GPFS and
+// prints how much of the I/O the input pipeline hid behind compute.
+func ExampleRunDLIO() {
+	s := storagesim.New()
+	cl, err := s.Cluster("Lassen", 1)
+	if err != nil {
+		panic(err)
+	}
+	mounts := storagesim.MountAll(storagesim.GPFSOnLassen(cl), cl)
+	rec := storagesim.NewTraceRecorder()
+	res, err := storagesim.RunDLIO(s.Env, mounts, storagesim.ResNet50Config(), rec)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("hidden I/O: %.0f%%\n", 100*res.Analysis.HiddenFraction())
+	// Output:
+	// hidden I/O: 99%
+}
+
+// ExampleTableI reprints the paper's cluster inventory.
+func ExampleTableI() {
+	fmt.Print(storagesim.TableI())
+	// Output:
+	// TABLE I: Clusters used for experiments
+	// Name      Nodes   CPU  GPU    RAM Arch               Network
+	// Lassen      795    44    4    256 IBM Power9         IB EDR
+	// Ruby       1512    56    0    192 Intel Xeon         Omni-Path
+	// Quartz     3018    36    0    128 Intel Xeon         Omni-Path
+	// Wombat        8    48    2    512 ARM Fujitsu A64fx  IB EDR
+}

@@ -1,0 +1,55 @@
+// Deeplearning: run the paper's two DLIO applications — ResNet-50 (weak
+// scaling, 8 I/O threads) and Cosmoflow (strong scaling, 4 I/O threads,
+// 256 KB transfers) — on Lassen against VAST and GPFS, and print the
+// DFTracer-style I/O-time decomposition of Section VI: how much of the I/O
+// the asynchronous input pipeline hides behind the GPU compute, and the
+// application vs system throughput views.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	storagesim "storagesim"
+)
+
+func main() {
+	const nodes = 4
+
+	run := func(label string, cfg storagesim.DLIOConfig, mountFS func(*storagesim.Cluster) []storagesim.Client) {
+		s := storagesim.New()
+		cl, err := s.Cluster("Lassen", nodes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rec := storagesim.NewTraceRecorder()
+		res, err := storagesim.RunDLIO(s.Env, mountFS(cl), cfg, rec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		a := res.Analysis
+		fmt.Printf("%-20s io=%8.2fs hidden=%5.1f%% stall=%7.2fs  app=%7.1f sys=%7.1f samples/s\n",
+			label, a.TotalIO.Seconds(), 100*a.HiddenFraction(),
+			a.NonOverlapIO.Seconds(), res.AppSamplesPerSec, res.SysSamplesPerSec)
+	}
+
+	vast := func(cl *storagesim.Cluster) []storagesim.Client {
+		return storagesim.MountAll(storagesim.VASTOnLassen(cl), cl)
+	}
+	gpfs := func(cl *storagesim.Cluster) []storagesim.Client {
+		return storagesim.MountAll(storagesim.GPFSOnLassen(cl), cl)
+	}
+
+	fmt.Printf("ResNet-50, %d nodes (weak scaling, 1024x150KB JPEGs per node, 1 epoch):\n", nodes)
+	run("  vast (nfs/tcp)", storagesim.ResNet50Config(), vast)
+	run("  gpfs", storagesim.ResNet50Config(), gpfs)
+	fmt.Println("  -> VAST reads slower, but the 8-thread pipeline hides almost all of")
+	fmt.Println("     it: the application barely notices (the paper's Figure 5a).")
+
+	fmt.Printf("\nCosmoflow, %d nodes (strong scaling, 32MB TFRecords in 256KB reads, 4 epochs):\n", nodes)
+	run("  vast (nfs/tcp)", storagesim.CosmoflowConfig(), vast)
+	run("  gpfs", storagesim.CosmoflowConfig(), gpfs)
+	fmt.Println("  -> Four I/O threads cannot hide 32 MB samples behind the compute on")
+	fmt.Println("     the throttled VAST deployment: non-overlapping I/O explodes and")
+	fmt.Println("     GPFS wins clearly (the paper's Figures 4b and 6).")
+}

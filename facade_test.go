@@ -1,0 +1,94 @@
+package storagesim_test
+
+import (
+	"strings"
+	"testing"
+
+	storagesim "storagesim"
+)
+
+func TestFacadeQuickFlow(t *testing.T) {
+	s := storagesim.New()
+	cl, err := s.Cluster("Lassen", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mounts := storagesim.MountAll(storagesim.VASTOnLassen(cl), cl)
+	if len(mounts) != 2 {
+		t.Fatalf("mounts = %d", len(mounts))
+	}
+	res, err := storagesim.RunIOR(s.Env, mounts, storagesim.IORConfig{
+		Workload: storagesim.Analytics, BlockSize: 1 << 20, TransferSize: 1 << 20,
+		Segments: 64, ProcsPerNode: 8, ReorderTasks: true, Dir: "/t",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WriteBW <= 0 || res.ReadBW <= 0 {
+		t.Fatalf("zero bandwidth: %+v", res)
+	}
+}
+
+func TestFacadeClusterErrors(t *testing.T) {
+	s := storagesim.New()
+	if _, err := s.Cluster("Summit", 1); err == nil {
+		t.Fatal("unknown machine accepted")
+	}
+	if _, err := s.Cluster("Wombat", 100); err == nil {
+		t.Fatal("oversubscription accepted")
+	}
+}
+
+func TestFacadeTableI(t *testing.T) {
+	out := storagesim.TableI()
+	if !strings.Contains(out, "Lassen") || !strings.Contains(out, "Wombat") {
+		t.Fatalf("Table I incomplete:\n%s", out)
+	}
+	if len(storagesim.Machines()) != 4 {
+		t.Fatal("machine list incomplete")
+	}
+}
+
+func TestFacadeDLIOAndTrace(t *testing.T) {
+	s := storagesim.New()
+	cl, err := s.Cluster("Lassen", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mounts := storagesim.MountAll(storagesim.GPFSOnLassen(cl), cl)
+	cfg := storagesim.ResNet50Config()
+	cfg.Samples = 64 // shrink for a unit test
+	rec := storagesim.NewTraceRecorder()
+	res, err := storagesim.RunDLIO(s.Env, mounts, cfg, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := storagesim.AnalyzeTrace(rec)
+	if a.TotalIO != res.Analysis.TotalIO {
+		t.Fatal("AnalyzeTrace disagrees with the run's own analysis")
+	}
+	if a.Ranks != 4 {
+		t.Fatalf("ranks = %d, want 4 (one per Lassen GPU)", a.Ranks)
+	}
+}
+
+func TestFacadeCustomVAST(t *testing.T) {
+	s := storagesim.New()
+	cl, err := s.Cluster("Wombat", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := storagesim.WombatVASTConfig(cl)
+	cfg.CNodes = 2
+	sys, err := storagesim.NewVAST(s.Env, s.Fabric, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Config().CNodes != 2 {
+		t.Fatal("custom config not applied")
+	}
+	cfg.CNodes = 0
+	if _, err := storagesim.NewVAST(s.Env, s.Fabric, cfg); err == nil {
+		t.Fatal("invalid custom config accepted")
+	}
+}

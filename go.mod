@@ -1,0 +1,3 @@
+module storagesim
+
+go 1.22

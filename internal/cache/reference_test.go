@@ -1,0 +1,104 @@
+package cache
+
+import (
+	"testing"
+
+	"storagesim/internal/stats"
+)
+
+// refCache is a deliberately naive reference implementation of a
+// block-granular LRU: residency via a slice ordered most-recent-first.
+// The fuzz below drives both implementations with the same random op
+// stream and demands identical residency and dirty state throughout.
+type refCache struct {
+	cap   int
+	bs    int64
+	order []blockKey // MRU first
+	dirty map[blockKey]bool
+}
+
+func newRef(capBlocks int, bs int64) *refCache {
+	return &refCache{cap: capBlocks, bs: bs, dirty: map[blockKey]bool{}}
+}
+
+func (r *refCache) find(k blockKey) int {
+	for i, e := range r.order {
+		if e == k {
+			return i
+		}
+	}
+	return -1
+}
+
+func (r *refCache) touch(k blockKey) bool {
+	if i := r.find(k); i >= 0 {
+		r.order = append([]blockKey{k}, append(r.order[:i:i], r.order[i+1:]...)...)
+		return true
+	}
+	return false
+}
+
+func (r *refCache) insert(k blockKey, dirty bool) {
+	if r.touch(k) {
+		if dirty {
+			r.dirty[k] = true
+		}
+		return
+	}
+	r.order = append([]blockKey{k}, r.order...)
+	if dirty {
+		r.dirty[k] = true
+	}
+	if len(r.order) > r.cap {
+		victim := r.order[len(r.order)-1]
+		r.order = r.order[:len(r.order)-1]
+		delete(r.dirty, victim)
+	}
+}
+
+func (r *refCache) resident(k blockKey) bool { return r.find(k) >= 0 }
+
+func TestCacheAgainstReferenceModel(t *testing.T) {
+	const capBlocks = 16
+	const bs = 4096
+	c := New(Config{BlockSize: bs, Capacity: capBlocks * bs})
+	ref := newRef(capBlocks, bs)
+	rng := stats.NewRNG(0xFACE)
+
+	for op := 0; op < 20000; op++ {
+		file := uint64(rng.Intn(3) + 1)
+		blk := int64(rng.Intn(40))
+		k := blockKey{file, blk}
+		switch rng.Intn(4) {
+		case 0, 1: // lookup (single block)
+			hit, _ := c.Lookup(file, blk*bs, bs)
+			wantHit := ref.resident(k)
+			if (hit == bs) != wantHit {
+				t.Fatalf("op %d: lookup(%v) hit=%v, reference says %v", op, k, hit == bs, wantHit)
+			}
+			ref.touch(k)
+		case 2: // clean insert
+			c.Insert(file, blk*bs, bs, false)
+			ref.insert(k, false)
+		case 3: // dirty insert
+			c.Insert(file, blk*bs, bs, true)
+			ref.insert(k, true)
+		}
+		if c.Len() != len(ref.order) {
+			t.Fatalf("op %d: resident count %d vs reference %d", op, c.Len(), len(ref.order))
+		}
+	}
+
+	// Dirty state must agree per file: flush both and compare volumes.
+	for file := uint64(1); file <= 3; file++ {
+		var refDirty int64
+		for k, d := range ref.dirty {
+			if d && k.file == file {
+				refDirty += bs
+			}
+		}
+		if got := c.FlushFile(file); got != refDirty {
+			t.Fatalf("file %d dirty bytes %d, reference %d", file, got, refDirty)
+		}
+	}
+}

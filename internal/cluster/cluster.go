@@ -1,0 +1,101 @@
+// Package cluster instantiates the four supercomputers of Table I —
+// Lassen, Ruby, Quartz (LLNL) and Wombat (ORNL) — and wires the paper's
+// Section IV-B storage deployments onto them: VAST over NFS/TCP gateways or
+// NFS/RDMA, GPFS on Lassen, Lustre on Ruby/Quartz, and node-local NVMe on
+// Wombat.
+//
+// Every physical calibration constant lives in params.go with its source.
+package cluster
+
+import (
+	"fmt"
+
+	"storagesim/internal/netsim"
+	"storagesim/internal/sim"
+)
+
+// MachineSpec is one row of the paper's Table I plus the network constants
+// the simulation needs.
+type MachineSpec struct {
+	// Table I columns.
+	Name        string
+	Nodes       int
+	CPUsPerNode int
+	GPUsPerNode int
+	RAMGB       int
+	Arch        string
+	Network     string
+
+	// NodeNICBW is the per-direction node injection bandwidth implied by
+	// the Network column (rails included).
+	NodeNICBW float64
+	// NICLatency is the one-way injection latency.
+	NICLatency sim.Duration
+}
+
+// Machines returns Table I in row order.
+func Machines() []MachineSpec {
+	return []MachineSpec{LassenSpec(), RubySpec(), QuartzSpec(), WombatSpec()}
+}
+
+// MachineByName returns the named spec or an error.
+func MachineByName(name string) (MachineSpec, error) {
+	for _, m := range Machines() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return MachineSpec{}, fmt.Errorf("cluster: unknown machine %q", name)
+}
+
+// Node is one compute node of an instantiated cluster.
+type Node struct {
+	Name string
+	NIC  *netsim.Iface
+}
+
+// Cluster is an instantiated set of compute nodes on a simulation fabric.
+type Cluster struct {
+	Spec  MachineSpec
+	Env   *sim.Env
+	Fab   *sim.Fabric
+	nodes []*Node
+}
+
+// New instantiates n compute nodes of the given machine (n must not exceed
+// the machine's size).
+func New(env *sim.Env, fab *sim.Fabric, spec MachineSpec, n int) (*Cluster, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("cluster: need at least one node")
+	}
+	if n > spec.Nodes {
+		return nil, fmt.Errorf("cluster: %s has %d nodes, requested %d", spec.Name, spec.Nodes, n)
+	}
+	c := &Cluster{Spec: spec, Env: env, Fab: fab}
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("%s-n%03d", spec.Name, i)
+		c.nodes = append(c.nodes, &Node{
+			Name: name,
+			NIC:  netsim.NewIface(fab, name+"/nic", spec.NodeNICBW, spec.NICLatency),
+		})
+	}
+	return c, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(env *sim.Env, fab *sim.Fabric, spec MachineSpec, n int) *Cluster {
+	c, err := New(env, fab, spec, n)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Size returns the number of instantiated nodes.
+func (c *Cluster) Size() int { return len(c.nodes) }
+
+// Node returns node i.
+func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
+
+// Nodes returns all instantiated nodes.
+func (c *Cluster) Nodes() []*Node { return c.nodes }

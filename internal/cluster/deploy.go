@@ -1,0 +1,209 @@
+package cluster
+
+import (
+	"time"
+
+	"fmt"
+	"strings"
+
+	"storagesim/internal/netsim"
+	"storagesim/internal/nvmelocal"
+	"storagesim/internal/unifyfs"
+	"storagesim/internal/vast"
+
+	"storagesim/internal/gpfs"
+	"storagesim/internal/lustre"
+)
+
+// Deployment constructors: each wires one of the paper's storage systems
+// onto an instantiated cluster exactly as Section IV-B describes.
+
+// VASTOnLassen builds the LC VAST instance reached through Lassen's single
+// gateway node (2×100 Gb Ethernet, one NFS/TCP connection per client).
+func VASTOnLassen(c *Cluster) *vast.System {
+	gw := netsim.NewLinkBank(c.Fab, "lassen-gw", lassenGateways, lassenGatewayLinkBW, gatewayLatency)
+	return vast.MustNew(c.Env, c.Fab, vastLCConfig("vast-lassen", &netsim.TCPTransport{
+		Gateways:    gw,
+		PerConnBW:   nfsTCPPerConnBWLassen,
+		Connections: 1,
+		RPC:         nfsTCPRPC,
+	}))
+}
+
+// VASTOnRuby builds the same LC instance reached through Ruby's eight
+// 1×40 Gb gateway nodes.
+func VASTOnRuby(c *Cluster) *vast.System {
+	gw := netsim.NewLinkBank(c.Fab, "ruby-gw", rubyGateways, rubyGatewayLinkBW, gatewayLatency)
+	return vast.MustNew(c.Env, c.Fab, vastLCConfig("vast-ruby", &netsim.TCPTransport{
+		Gateways:    gw,
+		PerConnBW:   nfsTCPPerConnBWRuby,
+		Connections: 1,
+		RPC:         nfsTCPRPC,
+	}))
+}
+
+// VASTOnQuartz builds the LC instance reached through Quartz's 32 gateway
+// nodes with tiny 2×1 Gb links — the paper's weakest deployment.
+func VASTOnQuartz(c *Cluster) *vast.System {
+	gw := netsim.NewLinkBank(c.Fab, "quartz-gw", quartzGateways, quartzGatewayLinkBW, gatewayLatency)
+	return vast.MustNew(c.Env, c.Fab, vastLCConfig("vast-quartz", &netsim.TCPTransport{
+		Gateways:    gw,
+		PerConnBW:   nfsTCPPerConnBWQuartz,
+		Connections: 1,
+		RPC:         nfsTCPRPC,
+	}))
+}
+
+// vastLCConfig is the shared LC VAST hardware (ten DNodes, 16 CNodes, five
+// DBoxes of 6 SCM + 22 QLC SSDs) behind the given transport.
+func vastLCConfig(name string, tr netsim.Transport) vast.Config {
+	return vast.Config{
+		Name:             name,
+		CNodes:           vastLCCNodes,
+		DBoxes:           vastLCDBoxes,
+		DNodesPerDBox:    2,
+		SCMPerDBox:       vastLCSCMPerDB,
+		QLCPerDBox:       vastLCQLCPerDB,
+		CNodeNICBW:       12.5e9,
+		ReduceBWPerCNode: cnodeReduceBW * 2, // 16 CNodes: 32 GB/s ingest pool
+		FabricBWPerDBox:  vastFabricPerDBoxLC,
+		FabricLatency:    5 * time.Microsecond,
+		SCMReplicas:      scmReplicas,
+		Transport:        tr,
+		ClientCacheBytes: nfsClientCacheBytes,
+		CacheBlockBytes:  cacheBlockBytes,
+		DNodeCacheBytes:  dnodeCacheBytes,
+		MetaLatency:      vastMetaLatency,
+		SCMStagingBytes:  int64(vastLCSCMPerDB*vastLCDBoxes) * scmBytesPerSSD,
+		ReductionRatio:   vastReductionRatio,
+	}
+}
+
+// VASTOnWombat builds the Wombat instance: 8 CNodes / 8 DNodes (BlueField
+// DPUs), NFS over RDMA with nconnect=16 and multipathing.
+func VASTOnWombat(c *Cluster) *vast.System {
+	return vast.MustNew(c.Env, c.Fab, WombatVASTConfig(c))
+}
+
+// WombatVASTConfig returns the Wombat VAST deployment configuration; the
+// ablation experiments mutate it (fabric bandwidth, nconnect, CNode count)
+// before instantiating the system.
+func WombatVASTConfig(c *Cluster) vast.Config {
+	rails := netsim.NewLinkBank(c.Fab, "wombat-rails", vastWombatCNodes, 12.5e9, 5*time.Microsecond)
+	return vast.Config{
+		Name:             "vast-wombat",
+		CNodes:           vastWombatCNodes,
+		DBoxes:           vastWombatDBoxes,
+		DNodesPerDBox:    2,
+		SCMPerDBox:       vastWombatSCMPerDB,
+		QLCPerDBox:       vastWombatQLCPerDB,
+		CNodeNICBW:       12.5e9,
+		ReduceBWPerCNode: cnodeReduceBW,
+		FabricBWPerDBox:  vastFabricPerDBoxWombat,
+		FabricLatency:    5 * time.Microsecond,
+		SCMReplicas:      scmReplicas,
+		Transport: &netsim.RDMATransport{
+			Rails:       rails,
+			PerConnBW:   nfsRDMAPerConnBW,
+			Connections: nconnectWombat,
+			Multipath:   true,
+			RPC:         nfsRDMARPC,
+		},
+		ClientCacheBytes:   nfsClientCacheBytes,
+		CacheBlockBytes:    cacheBlockBytes,
+		DNodeCacheBytes:    dnodeCacheBytes,
+		MetaLatency:        vastMetaLatency,
+		SpreadAcrossCNodes: true, // multipath spreads nconnect across CNodes
+		SCMStagingBytes:    int64(vastWombatSCMPerDB*vastWombatDBoxes) * scmBytesPerSSD,
+		ReductionRatio:     vastReductionRatio,
+	}
+}
+
+// GPFSOnLassen builds Lassen's 16-NSD GPFS instance on the IB SAN.
+func GPFSOnLassen(c *Cluster) *gpfs.System {
+	return gpfs.MustNew(c.Env, c.Fab, gpfs.Config{
+		Name:             "gpfs-lassen",
+		NSDServers:       gpfsNSDServers,
+		ServerNICBW:      gpfsServerNICBW,
+		RaidPerServer:    GPFSRaidPerServer(),
+		ServerCacheBytes: gpfsServerCacheBytes,
+		ServerMemBW:      gpfsServerMemBW,
+		ClientCacheBytes: gpfsClientCacheBytes,
+		CacheBlockBytes:  cacheBlockBytes,
+		ClientStreamCap:  gpfsClientStreamCap,
+		ClientWriteCap:   gpfsClientWriteCap,
+		RPCLatency:       gpfsRPCLatency,
+	})
+}
+
+// LustreOn builds the LC Lustre instance (16 MDS, 36 OSS) as mounted on
+// Ruby or Quartz.
+func LustreOn(c *Cluster) *lustre.System {
+	return lustre.MustNew(c.Env, c.Fab, lustre.Config{
+		Name:             "lustre-" + c.Spec.Name,
+		MDSCount:         lustreMDSCount,
+		MDSLatency:       lustreMDSLatency,
+		OSSCount:         lustreOSSCount,
+		OSTPerOSS:        LustreOSTPerOSS(),
+		ServerNICBW:      lustreServerNICBW,
+		ClientCacheBytes: lustreClientCacheBytes,
+		CacheBlockBytes:  cacheBlockBytes,
+		RPCLatency:       lustreRPCLatency,
+	})
+}
+
+// NVMeOnWombat builds the node-local NVMe baseline with the Wombat
+// interconnect for round-robin remote reads.
+func NVMeOnWombat(c *Cluster) *nvmelocal.System {
+	ic := netsim.NewLinkBank(c.Fab, "wombat-ic", 1, 100e9, 2*time.Microsecond)
+	dirty := int64(float64(int64(c.Spec.RAMGB)<<30) * nvmeDirtyFrac)
+	return nvmelocal.MustNew(c.Env, c.Fab, nvmelocal.Config{
+		Name:            "nvme-wombat",
+		PerNode:         NVMePerNode(),
+		MemBW:           nvmeMemBW,
+		DirtyLimitBytes: dirty,
+		PageCacheBytes:  nvmePageCacheBytes,
+		CacheBlockBytes: cacheBlockBytes,
+		Interconnect:    ic,
+	})
+}
+
+// UnifyFSOnWombat builds a UnifyFS burst buffer over Wombat's node-local
+// NVMe — the paper's other example of a highly configurable storage
+// system (Section I). Placement and I/O-server count are the configurable
+// policies; callers can mutate the returned config before instantiation
+// via UnifyFSWombatConfig.
+func UnifyFSOnWombat(c *Cluster) *unifyfs.System {
+	return unifyfs.MustNew(c.Env, c.Fab, UnifyFSWombatConfig(c))
+}
+
+// UnifyFSWombatConfig returns the default Wombat UnifyFS deployment:
+// local-first placement (the checkpoint/restart design point), one chunk
+// per MiB, four I/O servers per node.
+func UnifyFSWombatConfig(c *Cluster) unifyfs.Config {
+	return unifyfs.Config{
+		Name:             "unifyfs-wombat",
+		PerNode:          NVMePerNode(),
+		Placement:        unifyfs.LocalFirst,
+		ChunkBytes:       cacheBlockBytes,
+		IOServersPerNode: 4,
+		ServerLatency:    50 * time.Microsecond,
+		Interconnect:     netsim.NewLinkBank(c.Fab, "wombat-ufs-ic", 1, 100e9, 2*time.Microsecond),
+	}
+}
+
+// TableI renders the paper's Table I from the machine specs.
+func TableI() string {
+	out := "TABLE I: Clusters used for experiments\n"
+	row := func(cells ...string) {
+		line := fmt.Sprintf("%-8s %6s %5s %4s %6s %-18s %s",
+			cells[0], cells[1], cells[2], cells[3], cells[4], cells[5], cells[6])
+		out += strings.TrimRight(line, " ") + "\n"
+	}
+	row("Name", "Nodes", "CPU", "GPU", "RAM", "Arch", "Network")
+	for _, m := range Machines() {
+		row(m.Name, fmt.Sprint(m.Nodes), fmt.Sprint(m.CPUsPerNode), fmt.Sprint(m.GPUsPerNode),
+			fmt.Sprint(m.RAMGB), m.Arch, m.Network)
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package device
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"storagesim/internal/sim"
+)
+
+func TestPerStreamBWSingleSpindle(t *testing.T) {
+	e := sim.NewEnv()
+	fab := sim.NewFabric(e)
+	// 120-spindle array: a single blocking random stream still only gets
+	// one spindle's seek-bound rate.
+	d := MustNew(e, fab, SASHDDSpec("hdd").Scale(120, "raid"))
+	per := d.PerStreamBW(Random, false, 1<<20)
+	agg := d.EffectiveBW(Random, false, 1<<20)
+	if per >= agg/10 {
+		t.Fatalf("per-stream (%.2e) too close to aggregate (%.2e): unit parallelism leaked", per, agg)
+	}
+	// Analytic check: 1 MiB / (2ms lat + 6ms seek + 1 MiB/230MB/s).
+	spec := SASHDDSpec("x")
+	want := float64(1<<20) / (spec.ReadLatency.Seconds() + spec.SeekPenalty.Seconds() + float64(1<<20)/spec.ReadBW)
+	if per < 0.95*want || per > 1.05*want {
+		t.Fatalf("per-stream = %.3e, want %.3e", per, want)
+	}
+}
+
+func TestPerStreamBWScalesWithIOSize(t *testing.T) {
+	e := sim.NewEnv()
+	fab := sim.NewFabric(e)
+	d := MustNew(e, fab, SASHDDSpec("hdd"))
+	small := d.PerStreamBW(Random, false, 64<<10)
+	big := d.PerStreamBW(Random, false, 4<<20)
+	if big <= small {
+		t.Fatalf("larger I/O must amortize seeks: %e vs %e", small, big)
+	}
+}
+
+func TestDerateScalesPipes(t *testing.T) {
+	e := sim.NewEnv()
+	fab := sim.NewFabric(e)
+	d := MustNew(e, fab, SASHDDSpec("hdd"))
+	// Materialize a service pipe so derate covers it too.
+	svc := d.StreamPipes(Random, false, 1<<20)[0]
+	before, beforeSvc := d.ReadPipe().Capacity(), svc.Capacity()
+	d.Derate(0.5)
+	if d.ReadPipe().Capacity() != before/2 {
+		t.Fatal("media pipe not derated")
+	}
+	if svc.Capacity() != beforeSvc/2 {
+		t.Fatal("service pipe not derated")
+	}
+}
+
+func TestStreamPipesCachedPerKey(t *testing.T) {
+	e := sim.NewEnv()
+	fab := sim.NewFabric(e)
+	d := MustNew(e, fab, SASHDDSpec("hdd"))
+	a := d.StreamPipes(Random, false, 1<<20)
+	b := d.StreamPipes(Random, false, 1<<20)
+	if a[0] != b[0] {
+		t.Fatal("service pipe not cached: every stream would get private bandwidth")
+	}
+	c := d.StreamPipes(Random, false, 64<<10)
+	if c[0] == a[0] {
+		t.Fatal("different I/O sizes must not share a service pipe")
+	}
+}
+
+func TestFlushBarrierDrainsQueue(t *testing.T) {
+	// A flush issued while reads are in flight must wait for them, and
+	// block new ops meanwhile.
+	spec := testSpec()
+	spec.ReadLatency = 10 * time.Millisecond
+	spec.FlushLatency = 5 * time.Millisecond
+	e := sim.NewEnv()
+	fab := sim.NewFabric(e)
+	d := MustNew(e, fab, spec)
+	var flushDone, lateRead sim.Time
+	for i := 0; i < 4; i++ { // fill the QD=4 queue with 10ms reads
+		i := i
+		e.Go("r", func(p *sim.Proc) {
+			d.Read(p, uint64(i), 0, 1)
+		})
+	}
+	e.Go("f", func(p *sim.Proc) {
+		p.Sleep(time.Millisecond)
+		d.Flush(p)
+		flushDone = p.Now()
+	})
+	e.Go("late", func(p *sim.Proc) {
+		p.Sleep(2 * time.Millisecond)
+		d.Read(p, 9, 0, 1)
+		lateRead = p.Now()
+	})
+	e.Run()
+	if sim.Duration(flushDone) < 15*time.Millisecond {
+		t.Fatalf("flush finished at %v, before the queue drained", sim.Duration(flushDone))
+	}
+	if lateRead < flushDone {
+		t.Fatalf("read jumped the flush barrier: read %v, flush %v", lateRead, flushDone)
+	}
+}
+
+// Property: EffectiveBW is monotone in io size for any pattern, bounded by
+// media bandwidth, and PerStreamBW never exceeds EffectiveBW.
+func TestBWModelProperty(t *testing.T) {
+	f := func(units uint8, ioSizeK uint16, random bool) bool {
+		n := int(units%64) + 1
+		ioSize := int64(ioSizeK%4096+4) << 10
+		e := sim.NewEnv()
+		fab := sim.NewFabric(e)
+		d := MustNew(e, fab, SASHDDSpec("hdd").Scale(n, "raid"))
+		a := Sequential
+		if random {
+			a = Random
+		}
+		eff := d.EffectiveBW(a, false, ioSize)
+		eff2 := d.EffectiveBW(a, false, ioSize*2)
+		per := d.PerStreamBW(a, false, ioSize)
+		media := d.Spec().ReadBW
+		return eff <= media*(1+1e-9) && eff2 >= eff*(1-1e-9) && per <= eff*(1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

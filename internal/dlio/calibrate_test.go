@@ -1,0 +1,69 @@
+package dlio_test
+
+// Calibration probes for Figures 4-6: run the two DLIO applications on
+// Lassen against VAST (NFS/TCP) and GPFS and log the I/O-time split and
+// throughputs.
+
+import (
+	"testing"
+
+	"storagesim/internal/cluster"
+	"storagesim/internal/dlio"
+	"storagesim/internal/fsapi"
+	"storagesim/internal/sim"
+	"storagesim/internal/trace"
+)
+
+func runDLIO(t *testing.T, nodes int, fs string, cfg dlio.Config) dlio.Result {
+	t.Helper()
+	env := sim.NewEnv()
+	fab := sim.NewFabric(env)
+	cl := cluster.MustNew(env, fab, cluster.LassenSpec(), nodes)
+	var mounts []fsapi.Client
+	switch fs {
+	case "vast":
+		sys := cluster.VASTOnLassen(cl)
+		for i := 0; i < nodes; i++ {
+			mounts = append(mounts, sys.Mount(cl.Node(i).Name, cl.Node(i).NIC))
+		}
+	case "gpfs":
+		sys := cluster.GPFSOnLassen(cl)
+		for i := 0; i < nodes; i++ {
+			mounts = append(mounts, sys.Mount(cl.Node(i).Name, cl.Node(i).NIC))
+		}
+	}
+	rec := trace.NewRecorder()
+	res, err := dlio.Run(env, mounts, cfg, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestCalibrateResNet50(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration sweep")
+	}
+	for _, fs := range []string{"vast", "gpfs"} {
+		for _, nodes := range []int{1, 4, 16, 32} {
+			res := runDLIO(t, nodes, fs, dlio.ResNet50())
+			t.Logf("resnet50 %-5s nodes=%2d io=%8.3fs (nonovl=%7.3fs) compute=%7.1fs app=%9.0f sys=%9.0f samples/s",
+				fs, nodes, res.Analysis.TotalIO.Seconds(), res.Analysis.NonOverlapIO.Seconds(),
+				res.Analysis.ComputeTime.Seconds(), res.AppSamplesPerSec, res.SysSamplesPerSec)
+		}
+	}
+}
+
+func TestCalibrateCosmoflow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration sweep")
+	}
+	for _, fs := range []string{"vast", "gpfs"} {
+		for _, nodes := range []int{1, 2, 4, 8} {
+			res := runDLIO(t, nodes, fs, dlio.Cosmoflow())
+			t.Logf("cosmoflow %-5s nodes=%2d io=%8.1fs (nonovl=%7.1fs) compute=%7.1fs app=%9.0f sys=%9.0f samples/s",
+				fs, nodes, res.Analysis.TotalIO.Seconds(), res.Analysis.NonOverlapIO.Seconds(),
+				res.Analysis.ComputeTime.Seconds(), res.AppSamplesPerSec, res.SysSamplesPerSec)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package dlio
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"storagesim/internal/fsapi"
+	"storagesim/internal/sim"
+	"storagesim/internal/trace"
+)
+
+func ckptConfig() Config {
+	cfg := smallConfig()
+	cfg.CheckpointEveryBatches = 8
+	cfg.CheckpointBytes = 64 << 20
+	return cfg
+}
+
+func TestCheckpointValidation(t *testing.T) {
+	cfg := ckptConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cfg.CheckpointBytes = 0
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("checkpointing without a model size accepted")
+	}
+	cfg = smallConfig()
+	cfg.CheckpointEveryBatches = -1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative checkpoint interval accepted")
+	}
+}
+
+// ckptClient wraps the fake client and logs checkpoint stream writes.
+type ckptClient struct {
+	*fakeClient
+	ckpts []string
+}
+
+func (c *ckptClient) StreamWrite(p *sim.Proc, path string, a fsapi.Access, ioSize, total int64) {
+	if strings.Contains(path, "/ckpt/") {
+		c.ckpts = append(c.ckpts, path)
+	}
+	c.fakeClient.StreamWrite(p, path, a, ioSize, total)
+}
+
+func TestCheckpointsWrittenOnCadence(t *testing.T) {
+	env := sim.NewEnv()
+	base := newFake(env, 1e9)
+	cl := &ckptClient{fakeClient: base}
+	cfg := ckptConfig()
+	rec := trace.NewRecorder()
+	if _, err := Run(env, []fsapi.Client{cl}, cfg, rec); err != nil {
+		t.Fatal(err)
+	}
+	// 2 ranks x (64 samples x 2 epochs / 2 ranks = 64 batches) / every 8 =
+	// 8 checkpoints per rank.
+	if len(cl.ckpts) != 16 {
+		t.Fatalf("checkpoints = %d, want 16", len(cl.ckpts))
+	}
+	writes := 0
+	for _, s := range rec.Spans() {
+		if s.Kind == trace.Write {
+			writes++
+		}
+	}
+	if writes != 16 {
+		t.Fatalf("write spans = %d, want 16", writes)
+	}
+}
+
+func TestCheckpointStallsCountAsIO(t *testing.T) {
+	// With checkpoints the total I/O must grow and the stall fraction rise
+	// versus the same run without.
+	measure := func(ckpt bool) trace.Analysis {
+		env := sim.NewEnv()
+		base := newFake(env, 1e9)
+		cl := &ckptClient{fakeClient: base}
+		cfg := smallConfig()
+		cfg.ComputePerBatch = 5 * time.Millisecond
+		if ckpt {
+			cfg.CheckpointEveryBatches = 4
+			cfg.CheckpointBytes = 256 << 20
+		}
+		rec := trace.NewRecorder()
+		if _, err := Run(env, []fsapi.Client{cl}, cfg, rec); err != nil {
+			t.Fatal(err)
+		}
+		return trace.Analyze(rec.Spans())
+	}
+	with, without := measure(true), measure(false)
+	if with.TotalIO <= without.TotalIO {
+		t.Fatalf("checkpoint run total IO (%v) not above baseline (%v)", with.TotalIO, without.TotalIO)
+	}
+	if with.NonOverlapIO <= without.NonOverlapIO {
+		t.Fatalf("synchronous checkpoints must add stalls: %v vs %v", with.NonOverlapIO, without.NonOverlapIO)
+	}
+}

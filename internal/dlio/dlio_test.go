@@ -1,0 +1,279 @@
+package dlio
+
+import (
+	"testing"
+	"time"
+
+	"storagesim/internal/fsapi"
+	"storagesim/internal/sim"
+	"storagesim/internal/trace"
+)
+
+// fakeClient serves reads at a fixed bandwidth through one pipe, enough to
+// unit-test the data-loader pipeline and the overlap bookkeeping.
+type fakeClient struct {
+	node  string
+	ns    *fsapi.Namespace
+	fab   *sim.Fabric
+	pipe  *sim.Pipe
+	drops int
+	reads int
+}
+
+func newFake(env *sim.Env, bw float64) *fakeClient {
+	fab := sim.NewFabric(env)
+	return &fakeClient{
+		node: "n0",
+		ns:   fsapi.NewNamespace(),
+		fab:  fab,
+		pipe: fab.NewPipe("pipe", bw, 0),
+	}
+}
+
+func (c *fakeClient) FSName() string   { return "fake" }
+func (c *fakeClient) NodeName() string { return c.node }
+func (c *fakeClient) DropCaches()      { c.drops++ }
+
+func (c *fakeClient) Remove(p *sim.Proc, path string) { c.ns.Remove(path) }
+
+func (c *fakeClient) StreamWrite(p *sim.Proc, path string, a fsapi.Access, ioSize, total int64) {
+	ino := c.ns.Create(path, false)
+	c.ns.Extend(ino, 0, total)
+	c.fab.Transfer(p, []*sim.Pipe{c.pipe}, float64(total), 0)
+}
+
+func (c *fakeClient) StreamRead(p *sim.Proc, path string, a fsapi.Access, ioSize, total int64) {
+	c.fab.Transfer(p, []*sim.Pipe{c.pipe}, float64(total), 0)
+}
+
+func (c *fakeClient) Open(p *sim.Proc, path string, truncate bool) fsapi.File {
+	return &fakeFile{c: c, ino: c.ns.Create(path, truncate)}
+}
+
+type fakeFile struct {
+	c   *fakeClient
+	ino *fsapi.Inode
+}
+
+func (f *fakeFile) Path() string { return f.ino.Path }
+func (f *fakeFile) Size() int64  { return f.ino.Size }
+func (f *fakeFile) WriteAt(p *sim.Proc, off, n int64) {
+	f.c.ns.Extend(f.ino, off, n)
+	f.c.fab.Transfer(p, []*sim.Pipe{f.c.pipe}, float64(n), 0)
+}
+func (f *fakeFile) ReadAt(p *sim.Proc, off, n int64) {
+	fsapi.ValidateRead(f.ino, off, n)
+	f.c.reads++
+	f.c.fab.Transfer(p, []*sim.Pipe{f.c.pipe}, float64(n), 0)
+}
+func (f *fakeFile) Fsync(p *sim.Proc) {}
+func (f *fakeFile) Close(p *sim.Proc) {}
+
+func smallConfig() Config {
+	return Config{
+		Model: "tiny", Samples: 64, SampleBytes: 1 << 20, TransferBytes: 1 << 20,
+		SamplesPerFile: 4, Epochs: 2, BatchSize: 1, ReadThreads: 4,
+		PrefetchDepth: 8, ComputePerBatch: time.Millisecond, ProcsPerNode: 2,
+		Scaling: WeakScaling, Shuffle: true, Seed: 5, Dir: "/tiny",
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	good := smallConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.Samples = 0 },
+		func(c *Config) { c.SampleBytes = 0 },
+		func(c *Config) { c.TransferBytes = 0 },
+		func(c *Config) { c.SamplesPerFile = 0 },
+		func(c *Config) { c.Epochs = 0 },
+		func(c *Config) { c.BatchSize = 0 },
+		func(c *Config) { c.ReadThreads = 0 },
+		func(c *Config) { c.PrefetchDepth = 0 },
+		func(c *Config) { c.ProcsPerNode = 0 },
+		func(c *Config) { c.ComputePerBatch = 0 },
+	}
+	for i, mutate := range mutations {
+		c := smallConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestPresetsMatchPaper(t *testing.T) {
+	r := ResNet50()
+	if r.SampleBytes != 150*1000 || r.Epochs != 1 || r.ReadThreads != 8 ||
+		r.Scaling != WeakScaling || r.BatchSize != 1 {
+		t.Fatalf("ResNet-50 preset diverged: %+v", r)
+	}
+	c := Cosmoflow()
+	if c.TransferBytes != 256<<10 || c.Epochs != 4 || c.ReadThreads != 4 ||
+		c.Scaling != StrongScaling {
+		t.Fatalf("Cosmoflow preset diverged: %+v", c)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllSamplesProcessed(t *testing.T) {
+	env := sim.NewEnv()
+	cl := newFake(env, 1e9)
+	rec := trace.NewRecorder()
+	cfg := smallConfig()
+	res, err := Run(env, []fsapi.Client{cl}, cfg, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cfg.Samples * cfg.Epochs // weak scaling, 1 node
+	if res.Samples != want {
+		t.Fatalf("samples = %d, want %d", res.Samples, want)
+	}
+	if cl.reads != want {
+		t.Fatalf("sample reads = %d, want %d", cl.reads, want)
+	}
+}
+
+func TestCachesDroppedBetweenGenerationAndTraining(t *testing.T) {
+	env := sim.NewEnv()
+	cl := newFake(env, 1e9)
+	if _, err := Run(env, []fsapi.Client{cl}, smallConfig(), trace.NewRecorder()); err != nil {
+		t.Fatal(err)
+	}
+	if cl.drops != 1 {
+		t.Fatalf("drops = %d, want 1 (the paper's cross-node read methodology)", cl.drops)
+	}
+}
+
+func TestComputeBoundRunHidesIO(t *testing.T) {
+	// Fast storage + slow compute: nearly all I/O overlaps.
+	env := sim.NewEnv()
+	cl := newFake(env, 10e9)
+	cfg := smallConfig()
+	cfg.ComputePerBatch = 20 * time.Millisecond
+	rec := trace.NewRecorder()
+	res, err := Run(env, []fsapi.Client{cl}, cfg, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Analysis.HiddenFraction() < 0.9 {
+		t.Fatalf("hidden fraction = %.2f, want >0.9 (compute-bound)", res.Analysis.HiddenFraction())
+	}
+}
+
+func TestIOBoundRunStalls(t *testing.T) {
+	// Slow storage + fast compute: stalls dominate.
+	env := sim.NewEnv()
+	cl := newFake(env, 50e6)
+	cfg := smallConfig()
+	cfg.ComputePerBatch = 100 * time.Microsecond
+	rec := trace.NewRecorder()
+	res, err := Run(env, []fsapi.Client{cl}, cfg, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Analysis.NonOverlapIO < res.Analysis.OverlapIO {
+		t.Fatalf("I/O-bound run mostly hidden? %+v", res.Analysis)
+	}
+	if res.SysSamplesPerSec > res.AppSamplesPerSec*100 {
+		t.Fatalf("throughput views inconsistent: app=%f sys=%f", res.AppSamplesPerSec, res.SysSamplesPerSec)
+	}
+}
+
+func TestStrongScalingDividesDataset(t *testing.T) {
+	env := sim.NewEnv()
+	c1 := newFake(env, 1e9)
+	c2 := &fakeClient{node: "n1", ns: c1.ns, fab: c1.fab, pipe: c1.pipe}
+	cfg := smallConfig()
+	cfg.Scaling = StrongScaling
+	rec := trace.NewRecorder()
+	res, err := Run(env, []fsapi.Client{c1, c2}, cfg, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strong: total samples fixed at cfg.Samples regardless of nodes.
+	if res.Samples != cfg.Samples*cfg.Epochs {
+		t.Fatalf("strong scaling samples = %d, want %d", res.Samples, cfg.Samples*cfg.Epochs)
+	}
+}
+
+func TestWeakScalingGrowsDataset(t *testing.T) {
+	env := sim.NewEnv()
+	c1 := newFake(env, 1e9)
+	c2 := &fakeClient{node: "n1", ns: c1.ns, fab: c1.fab, pipe: c1.pipe}
+	cfg := smallConfig()
+	rec := trace.NewRecorder()
+	res, err := Run(env, []fsapi.Client{c1, c2}, cfg, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Samples != 2*cfg.Samples*cfg.Epochs {
+		t.Fatalf("weak scaling samples = %d, want %d", res.Samples, 2*cfg.Samples*cfg.Epochs)
+	}
+}
+
+func TestTooFewSamplesForRanks(t *testing.T) {
+	env := sim.NewEnv()
+	cl := newFake(env, 1e9)
+	cfg := smallConfig()
+	cfg.Samples = 1
+	cfg.ProcsPerNode = 4
+	if _, err := Run(env, []fsapi.Client{cl}, cfg, trace.NewRecorder()); err == nil {
+		t.Fatal("1 sample for 4 ranks accepted")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() Result {
+		env := sim.NewEnv()
+		cl := newFake(env, 1e9)
+		res, err := Run(env, []fsapi.Client{cl}, smallConfig(), trace.NewRecorder())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Runtime != b.Runtime || a.Analysis != b.Analysis {
+		t.Fatalf("non-deterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestShuffleChangesAccessOrderNotCount(t *testing.T) {
+	count := func(shuffle bool) int {
+		env := sim.NewEnv()
+		cl := newFake(env, 1e9)
+		cfg := smallConfig()
+		cfg.Shuffle = shuffle
+		if _, err := Run(env, []fsapi.Client{cl}, cfg, trace.NewRecorder()); err != nil {
+			t.Fatal(err)
+		}
+		return cl.reads
+	}
+	if count(true) != count(false) {
+		t.Fatal("shuffling changed the number of sample reads")
+	}
+}
+
+func TestMultiTransferSamples(t *testing.T) {
+	// A 4 MiB sample read in 1 MiB transfers issues 4 ReadAts.
+	env := sim.NewEnv()
+	cl := newFake(env, 1e9)
+	cfg := smallConfig()
+	cfg.Samples = 8
+	cfg.SampleBytes = 4 << 20
+	cfg.Epochs = 1
+	if _, err := Run(env, []fsapi.Client{cl}, cfg, trace.NewRecorder()); err != nil {
+		t.Fatal(err)
+	}
+	if cl.reads != 32 {
+		t.Fatalf("ReadAt calls = %d, want 32 (8 samples x 4 transfers)", cl.reads)
+	}
+}

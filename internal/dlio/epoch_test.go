@@ -1,0 +1,78 @@
+package dlio
+
+import (
+	"testing"
+	"time"
+
+	"storagesim/internal/fsapi"
+	"storagesim/internal/sim"
+	"storagesim/internal/trace"
+)
+
+// slowRankClient makes one rank's node slower than the other so epoch
+// barriers become visible in the runtime.
+func TestEpochBarrierSynchronizesRanks(t *testing.T) {
+	run := func(barrier bool) sim.Duration {
+		env := sim.NewEnv()
+		fast := newFake(env, 10e9)
+		// second node shares namespace but has a much slower pipe
+		slowFab := sim.NewFabric(env)
+		slow := &fakeClient{node: "n1", ns: fast.ns, fab: slowFab, pipe: slowFab.NewPipe("slow", 0.2e9, 0)}
+		cfg := smallConfig()
+		cfg.ProcsPerNode = 1
+		cfg.Epochs = 4
+		cfg.ComputePerBatch = 500 * time.Microsecond
+		cfg.EpochBarrier = barrier
+		rec := trace.NewRecorder()
+		res, err := Run(env, []fsapi.Client{fast, slow}, cfg, rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Runtime
+	}
+	with, without := run(true), run(false)
+	// The barrier makes the fast rank wait for the slow one each epoch, so
+	// the synchronized run can never be faster; typically it is slower
+	// because stragglers serialize per epoch.
+	if with < without {
+		t.Fatalf("barrier run (%v) faster than free run (%v)", with, without)
+	}
+}
+
+func TestEpochBarrierCompletesAllSamples(t *testing.T) {
+	env := sim.NewEnv()
+	cl := newFake(env, 1e9)
+	cfg := smallConfig()
+	cfg.EpochBarrier = true
+	rec := trace.NewRecorder()
+	res, err := Run(env, []fsapi.Client{cl}, cfg, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Samples != cfg.Samples*cfg.Epochs {
+		t.Fatalf("samples = %d, want %d", res.Samples, cfg.Samples*cfg.Epochs)
+	}
+	if cl.reads != res.Samples {
+		t.Fatalf("reads = %d, want %d", cl.reads, res.Samples)
+	}
+}
+
+func TestEpochBarrierUnevenShards(t *testing.T) {
+	// Samples not divisible by ranks: the remainder lands on the last
+	// rank; barriers must still resolve (no deadlock) and every sample
+	// must be read.
+	env := sim.NewEnv()
+	cl := newFake(env, 1e9)
+	cfg := smallConfig()
+	cfg.Samples = 13 // 13 samples across 2 ranks: shards of 6 and 7
+	cfg.SamplesPerFile = 1
+	cfg.EpochBarrier = true
+	rec := trace.NewRecorder()
+	res, err := Run(env, []fsapi.Client{cl}, cfg, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Samples != 13*cfg.Epochs {
+		t.Fatalf("samples = %d, want %d", res.Samples, 13*cfg.Epochs)
+	}
+}

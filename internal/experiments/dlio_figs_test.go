@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestFig4aResNetShapes(t *testing.T) {
+	p, err := Fig4("resnet50", quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vastOvl := series(t, p, "vast overlap")
+	vastNovl := series(t, p, "vast non-overlap")
+	gpfsOvl := series(t, p, "gpfs overlap")
+	gpfsNovl := series(t, p, "gpfs non-overlap")
+
+	// VAST spends more total I/O time than GPFS, but most of it overlaps
+	// with compute (Section VI-B).
+	for _, n := range []float64{1, 8} {
+		vTot := vastOvl.YAt(n) + vastNovl.YAt(n)
+		gTot := gpfsOvl.YAt(n) + gpfsNovl.YAt(n)
+		if vTot <= gTot {
+			t.Fatalf("nodes=%v: VAST I/O (%.2fs) must exceed GPFS (%.2fs)", n, vTot, gTot)
+		}
+		if vastOvl.YAt(n) < 5*vastNovl.YAt(n) {
+			t.Fatalf("nodes=%v: VAST I/O not mostly hidden: ovl=%.2f novl=%.2f",
+				n, vastOvl.YAt(n), vastNovl.YAt(n))
+		}
+	}
+}
+
+func TestFig5ResNetThroughputs(t *testing.T) {
+	app, system, err := Fig56("resnet50", quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vApp, gApp := series(t, app, "vast"), series(t, app, "gpfs")
+	vSys, gSys := series(t, system, "vast"), series(t, system, "gpfs")
+	// System throughput differs strongly; app throughput only slightly,
+	// GPFS ahead (Section VI-B / Figure 5).
+	if gSys.YAt(8) < 1.5*vSys.YAt(8) {
+		t.Fatalf("system throughput must differ strongly: gpfs=%.0f vast=%.0f",
+			gSys.YAt(8), vSys.YAt(8))
+	}
+	gap := gApp.YAt(8) / vApp.YAt(8)
+	if gap < 1.0 || gap > 1.2 {
+		t.Fatalf("app throughput gap = %.2fx, want slight GPFS lead", gap)
+	}
+}
+
+func TestFig4bAndFig6Cosmoflow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cosmoflow run is heavy")
+	}
+	p, err := Fig4("cosmoflow", quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Non-overlapping I/O is dramatically larger for VAST (Section VI-C).
+	vNovl := series(t, p, "vast non-overlap")
+	gNovl := series(t, p, "gpfs non-overlap")
+	if vNovl.YAt(1) < 10*gNovl.YAt(1) {
+		t.Fatalf("VAST non-overlap (%.1fs) must dwarf GPFS (%.1fs)", vNovl.YAt(1), gNovl.YAt(1))
+	}
+	app, system, err := Fig56("cosmoflow", quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// GPFS serves Cosmoflow clearly better on both views (Figure 6).
+	if series(t, app, "gpfs").YAt(1) < 1.5*series(t, app, "vast").YAt(1) {
+		t.Fatal("GPFS must clearly beat VAST on Cosmoflow app throughput")
+	}
+	if series(t, system, "gpfs").YAt(1) < 2*series(t, system, "vast").YAt(1) {
+		t.Fatal("GPFS must clearly beat VAST on Cosmoflow system throughput")
+	}
+	_ = gNovl
+}
+
+func TestModelConfigUnknown(t *testing.T) {
+	if _, _, err := modelConfig("alexnet"); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}

@@ -1,0 +1,256 @@
+package experiments
+
+// Shape tests: each experiment must reproduce the qualitative findings of
+// the paper (who wins, by roughly what factor, where saturation falls).
+// These are the reproduction's acceptance tests.
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"storagesim/internal/stats"
+)
+
+func quick() Options { return Options{Quick: true, Reps: 1} }
+
+func series(t *testing.T, p Panel, name string) stats.Series {
+	t.Helper()
+	for _, s := range p.Series {
+		if s.Name == name {
+			return s
+		}
+	}
+	t.Fatalf("panel %s has no series %q", p.ID, name)
+	return stats.Series{}
+}
+
+func panelByID(t *testing.T, panels []Panel, id string) Panel {
+	t.Helper()
+	for _, p := range panels {
+		if p.ID == id {
+			return p
+		}
+	}
+	t.Fatalf("no panel %q", id)
+	return Panel{}
+}
+
+func TestTableIMatchesPaper(t *testing.T) {
+	tab := TableI()
+	if len(tab.Rows) != 4 {
+		t.Fatalf("Table I rows = %d, want 4", len(tab.Rows))
+	}
+	rendered := tab.Render()
+	for _, want := range []string{"Lassen", "795", "44", "Ruby", "1512", "Quartz", "3018", "Wombat", "A64fx", "Omni-Path"} {
+		if !strings.Contains(rendered, want) {
+			t.Errorf("Table I missing %q:\n%s", want, rendered)
+		}
+	}
+}
+
+func TestFig2aShapes(t *testing.T) {
+	panels, err := Fig2a(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(panels) != 3 {
+		t.Fatalf("fig2a panels = %d", len(panels))
+	}
+	sci := panelByID(t, panels, "fig2a-scientific(seq-write)")
+	vast := series(t, sci, "vast")
+	gpfs := series(t, sci, "gpfs")
+
+	// VAST plateaus at the gateway (~25 GB/s aggregate); GPFS keeps
+	// scaling past it.
+	if _, max := vast.MaxY(); max > 30 {
+		t.Fatalf("VAST write exceeded the gateway ceiling: %.1f GB/s", max)
+	}
+	if vast.YAt(64) > 0.8*gpfs.YAt(64) {
+		t.Fatalf("GPFS writes must dominate at scale: vast=%.1f gpfs=%.1f", vast.YAt(64), gpfs.YAt(64))
+	}
+	// VAST ~1.1 GB/s per node before saturation (the TCP connection cap).
+	if per := vast.YAt(4) / 4; per < 0.8 || per > 1.4 {
+		t.Fatalf("VAST per-node TCP write = %.2f GB/s, want ~1.1", per)
+	}
+
+	ml := panelByID(t, panels, "fig2a-ml(random-read)")
+	ana := panelByID(t, panels, "fig2a-analytics(seq-read)")
+	// GPFS random reads collapse relative to sequential at scale ("90%
+	// performance drop"); VAST reads stay the same across patterns.
+	gSeq, gRand := series(t, ana, "gpfs").YAt(64), series(t, ml, "gpfs").YAt(64)
+	if gRand > 0.5*gSeq {
+		t.Fatalf("GPFS random read did not collapse: seq=%.1f rand=%.1f", gSeq, gRand)
+	}
+	vSeq, vRand := series(t, ana, "vast").YAt(16), series(t, ml, "vast").YAt(16)
+	if math.Abs(vSeq-vRand) > 0.15*vSeq {
+		t.Fatalf("VAST patterns diverged: seq=%.1f rand=%.1f", vSeq, vRand)
+	}
+}
+
+func TestFig2bShapes(t *testing.T) {
+	panels, err := Fig2b(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ana := panelByID(t, panels, "fig2b-analytics(seq-read)")
+	vast := series(t, ana, "vast")
+	nvme := series(t, ana, "nvme")
+	// VAST outperforms NVMe at small scale; NVMe scales linearly and
+	// overtakes; VAST saturates by 8 nodes (8 CNodes / fabric).
+	if vast.YAt(1) <= nvme.YAt(1) {
+		t.Fatalf("VAST must beat NVMe at 1 node: vast=%.1f nvme=%.1f", vast.YAt(1), nvme.YAt(1))
+	}
+	if nvme.YAt(8) <= vast.YAt(8) {
+		t.Fatalf("NVMe must overtake at 8 nodes: vast=%.1f nvme=%.1f", vast.YAt(8), nvme.YAt(8))
+	}
+	if growth := nvme.GrowthFactor(); growth < 6 {
+		t.Fatalf("node-local NVMe must scale ~linearly, growth=%.1f", growth)
+	}
+	ml := panelByID(t, panels, "fig2b-ml(random-read)")
+	if _, max := series(t, ml, "vast").MaxY(); max < 15 || max > 30 {
+		t.Fatalf("VAST ML plateau = %.1f GB/s, want ~22.5", max)
+	}
+}
+
+func TestFig3Shapes(t *testing.T) {
+	panels, err := Fig3(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3d: VAST ~5x NVMe for fsync writes at 32 procs; saturation ~5-6 GB/s.
+	d := panelByID(t, panels, "fig3d-write+fsync")
+	vast, nvme := series(t, d, "vast"), series(t, d, "nvme")
+	ratio := vast.YAt(32) / nvme.YAt(32)
+	if ratio < 3.5 || ratio > 7 {
+		t.Fatalf("Wombat fsync write VAST/NVMe = %.1fx, want ~5x", ratio)
+	}
+	if v := vast.YAt(32); v < 4.5 || v > 7 {
+		t.Fatalf("VAST fsync write saturation = %.1f GB/s, want ~5.8", v)
+	}
+	// 3b: Quartz VAST is throttled to the 2x1Gb gateway (~0.25 GB/s) while
+	// Lustre grows with process count.
+	b := panelByID(t, panels, "fig3b-write+fsync")
+	if v := series(t, b, "vast").YAt(32); v > 0.3 {
+		t.Fatalf("Quartz VAST = %.2f GB/s, want <=0.25 (gateway)", v)
+	}
+	if l := series(t, b, "lustre"); l.GrowthFactor() < 5 {
+		t.Fatalf("Lustre must grow near-linearly, growth=%.1f", l.GrowthFactor())
+	}
+	// 3a vs 3b/3c: VAST on Lassen beats VAST on Ruby and Quartz (better
+	// deployment).
+	a := panelByID(t, panels, "fig3a-write+fsync")
+	c := panelByID(t, panels, "fig3c-write+fsync")
+	if series(t, a, "vast").YAt(32) <= series(t, c, "vast").YAt(32) {
+		t.Fatal("VAST on Lassen must beat VAST on Ruby")
+	}
+	// 3a: at low concurrency the SCM-backed VAST beats GPFS's spinning
+	// commit path.
+	if series(t, a, "vast").YAt(1) <= series(t, a, "gpfs").YAt(1) {
+		t.Fatal("VAST (SCM commit) must beat GPFS (RAID commit) at 1 process")
+	}
+}
+
+func TestTakeawayRDMAvsTCP(t *testing.T) {
+	tab, err := TakeawayRDMAvsTCP(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	note := tab.Notes[0]
+	if !strings.Contains(note, "x") {
+		t.Fatalf("note missing ratio: %s", note)
+	}
+	// Parse-free check: rerun the underlying points cheaply via the note
+	// format is brittle; assert through a fresh computation instead.
+	// (The note content is asserted in cmd tests.)
+	_ = note
+}
+
+func TestTakeawaySeqVsRandomFullScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 128-node sweep")
+	}
+	tab, err := TakeawaySeqVsRandom(Options{Reps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row 0 is GPFS: the drop column must report ~90%.
+	drop := tab.Rows[0][3]
+	if drop != "90%" && drop != "89%" && drop != "91%" {
+		t.Fatalf("GPFS seq->random drop = %s, want ~90%%", drop)
+	}
+	// Row 1 is VAST: consistent across patterns.
+	if vDrop := tab.Rows[1][3]; vDrop != "0%" && vDrop != "1%" && vDrop != "2%" {
+		t.Fatalf("VAST drop = %s, want ~0%%", vDrop)
+	}
+}
+
+func TestAblationFabricMonotone(t *testing.T) {
+	p, err := AblationFabric(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.Series[0]
+	for i := 1; i < len(s.Points); i++ {
+		if s.Points[i].Y < s.Points[i-1].Y-0.5 {
+			t.Fatalf("fabric sweep not monotone: %+v", s.Points)
+		}
+	}
+	// The hypothesis: at the stock 6.25 GB/s per DBox the fabric binds, so
+	// doubling it must raise aggregate bandwidth materially.
+	if s.YAt(12.5) < 1.3*s.YAt(6.25) {
+		t.Fatalf("fabric is not the binding constraint: %.1f vs %.1f", s.YAt(6.25), s.YAt(12.5))
+	}
+}
+
+func TestAblationNconnectDiminishingReturns(t *testing.T) {
+	p, err := AblationNconnect(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.Series[0]
+	if s.YAt(4) < 2*s.YAt(1) {
+		t.Fatalf("nconnect must lift the single-connection ceiling: %+v", s.Points)
+	}
+}
+
+func TestAblationCNodesGrowsWithServers(t *testing.T) {
+	p, err := AblationCNodes(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.Series[0]
+	if s.YAt(8) <= s.YAt(1) {
+		t.Fatalf("aggregate read did not grow with CNodes: %+v", s.Points)
+	}
+}
+
+func TestAblationTCPGatewayProportional(t *testing.T) {
+	p, err := AblationTCPGateway(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.Series[0]
+	// Aggregate write at 64 nodes is gateway-bound: doubling the gateway
+	// should ~double the number.
+	half, full := s.YAt(0.5), s.YAt(1.0)
+	if full < 1.8*half || full > 2.2*half {
+		t.Fatalf("gateway sweep not proportional: 0.5x=%.1f 1.0x=%.1f", half, full)
+	}
+}
+
+func TestRenderPanel(t *testing.T) {
+	p := Panel{ID: "x", Title: "T", XLabel: "nodes", YLabel: "GB/s"}
+	s := stats.Series{Name: "a"}
+	s.Append(1, 2.5, 0.1)
+	p.Series = []stats.Series{s}
+	out := p.Render()
+	for _, want := range []string{"x", "T", "nodes", "a", "2.500"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV emits the panel as CSV — one row per X value, one column pair
+// (value, stddev) per series — so the figures can be re-plotted with any
+// external tool.
+func (p Panel) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{p.XLabel}
+	for _, s := range p.Series {
+		header = append(header, s.Name, s.Name+"_stddev")
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	if len(p.Series) > 0 {
+		for i, pt := range p.Series[0].Points {
+			row := []string{formatFloat(pt.X)}
+			for _, s := range p.Series {
+				row = append(row, formatFloat(s.YAt(pt.X)))
+				errv := 0.0
+				if i < len(s.Err) {
+					errv = s.Err[i]
+				}
+				row = append(row, formatFloat(errv))
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits the table rows as CSV.
+func (t Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// formatFloat renders numbers compactly without scientific noise for the
+// magnitudes the experiments produce.
+func formatFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return fmt.Sprintf("%.6g", v)
+}

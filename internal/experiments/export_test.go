@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func TestPanelCSVRoundShape(t *testing.T) {
+	p := demoPanel()
+	var b strings.Builder
+	if err := p.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 { // header + 4 x values
+		t.Fatalf("rows = %d, want 5", len(rows))
+	}
+	if rows[0][0] != "nodes" || rows[0][1] != "vast" || rows[0][2] != "vast_stddev" {
+		t.Fatalf("header = %v", rows[0])
+	}
+	if rows[1][0] != "1" || rows[4][0] != "64" {
+		t.Fatalf("x column = %v ... %v", rows[1][0], rows[4][0])
+	}
+	// gpfs value at x=4 is 10.
+	if rows[2][3] != "10" {
+		t.Fatalf("gpfs@4 = %q", rows[2][3])
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := Table{
+		ID:     "x",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "2"}, {"3", "4"}},
+	}
+	var b strings.Builder
+	if err := tab.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,2\n3,4\n"
+	if b.String() != want {
+		t.Fatalf("csv = %q, want %q", b.String(), want)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		1:        "1",
+		64:       "64",
+		2.5:      "2.5",
+		0.333333: "0.333333",
+	}
+	for in, want := range cases {
+		if got := formatFloat(in); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func parseCell(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "%"), 64)
+	if err != nil {
+		t.Fatalf("cell %q not numeric: %v", cell, err)
+	}
+	return v
+}
+
+func TestAblationSharedFilePenalty(t *testing.T) {
+	tab, err := AblationSharedFile(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		nn := parseCell(t, row[1])
+		n1 := parseCell(t, row[2])
+		if n1 >= nn {
+			t.Fatalf("%s: N-1 (%.2f) not slower than N-N (%.2f)", row[0], n1, nn)
+		}
+		penalty := parseCell(t, row[3])
+		if penalty < 10 {
+			t.Fatalf("%s: N-1 penalty only %.0f%%, locking model inert", row[0], penalty)
+		}
+	}
+}
+
+func TestConsistencySpreads(t *testing.T) {
+	tab, err := Consistency(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vastSpread, gpfsSpread float64
+	for _, row := range tab.Rows {
+		switch row[0] {
+		case "vast":
+			vastSpread = parseCell(t, row[4])
+		case "gpfs":
+			gpfsSpread = parseCell(t, row[4])
+		}
+	}
+	// The dedicated system must be steadier than the shared one.
+	if vastSpread >= gpfsSpread {
+		t.Fatalf("VAST spread (%.1f%%) not below GPFS (%.1f%%)", vastSpread, gpfsSpread)
+	}
+	if gpfsSpread <= 0 {
+		t.Fatal("contention model produced no variation on GPFS")
+	}
+}
+
+func TestAblationUnifyFSPolicies(t *testing.T) {
+	tab, err := AblationUnifyFS(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 (2 placements x 2 server counts)", len(tab.Rows))
+	}
+	byKey := map[string][]string{}
+	for _, row := range tab.Rows {
+		byKey[row[0]+"/"+row[1]] = row
+	}
+	// The checkpoint design point: local-first writes beat round-robin at
+	// equal server count.
+	lf := parseCell(t, byKey["local-first/16"][2])
+	rr := parseCell(t, byKey["round-robin/16"][2])
+	if lf <= rr {
+		t.Fatalf("local-first writes (%.2f) not above round-robin (%.2f)", lf, rr)
+	}
+	// The I/O-server knob: more servers help the local-first path.
+	one := parseCell(t, byKey["local-first/1"][2])
+	sixteen := parseCell(t, byKey["local-first/16"][2])
+	if sixteen <= one {
+		t.Fatalf("server pool had no effect: 1 -> %.2f, 16 -> %.2f", one, sixteen)
+	}
+}

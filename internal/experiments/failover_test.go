@@ -1,0 +1,33 @@
+package experiments
+
+import "testing"
+
+func TestFailoverStudyDegradesGracefully(t *testing.T) {
+	tab, err := FailoverStudy(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tab.Rows))
+	}
+	var bws []float64
+	for _, row := range tab.Rows {
+		bws = append(bws, parseCell(t, row[2]))
+	}
+	// Bandwidth must degrade monotonically with failures but never reach
+	// zero — capacity loss, not outage.
+	for i := 1; i < len(bws); i++ {
+		if bws[i] >= bws[i-1] {
+			t.Fatalf("no degradation from %d to %d failures: %v", i-1, i, bws)
+		}
+		if bws[i] <= 0 {
+			t.Fatalf("outage at row %d: %v", i, bws)
+		}
+	}
+	// Failing half the CNodes must not halve bandwidth outright at this
+	// small scale (the survivors absorb the clients), but must cost
+	// something substantial.
+	if ratio := bws[3] / bws[0]; ratio < 0.3 || ratio > 0.9 {
+		t.Fatalf("4-failure ratio = %.2f, want graceful degradation", ratio)
+	}
+}

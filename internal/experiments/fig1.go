@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"storagesim/internal/cluster"
+	"storagesim/internal/sim"
+	"storagesim/internal/units"
+)
+
+// Fig1 regenerates the paper's Figure 1 — the high-level architectures of
+// VAST and GPFS on Lassen — as ASCII diagrams whose numbers come from the
+// live deployment constructors, so the diagram can never drift from the
+// model.
+func Fig1() (string, error) {
+	env := sim.NewEnv()
+	fab := sim.NewFabric(env)
+	cl, err := cluster.New(env, fab, cluster.LassenSpec(), 1)
+	if err != nil {
+		return "", err
+	}
+	vastSys := cluster.VASTOnLassen(cl)
+	gpfsSys := cluster.GPFSOnLassen(cl)
+	vcfg := vastSys.Config()
+	gcfg := gpfsSys.Config()
+	up, _ := vastSys.FabricPipes()
+
+	var b strings.Builder
+	b.WriteString("Fig. 1a — VAST on Lassen (NFS over a single TCP gateway)\n\n")
+	fmt.Fprintf(&b, "  [%d Lassen compute nodes, %s NIC each]\n",
+		cluster.LassenSpec().Nodes, units.BPS(cluster.LassenSpec().NodeNICBW))
+	b.WriteString("        |  one NFS/TCP connection per node (~1.1 GB/s)\n")
+	b.WriteString("        v\n")
+	b.WriteString("  [gateway node: 2x100Gb Ethernet = 25 GB/s total]\n")
+	b.WriteString("        |\n")
+	b.WriteString("        v\n")
+	fmt.Fprintf(&b, "  [%d CNodes (stateless NFS servers), %s NIC each]\n",
+		vcfg.CNodes, units.BPS(vcfg.CNodeNICBW))
+	fmt.Fprintf(&b, "        |  NVMe-oF over EDR InfiniBand (%s per direction)\n",
+		units.BPS(up.Capacity()))
+	b.WriteString("        v\n")
+	fmt.Fprintf(&b, "  [%d DBoxes, 2 DNodes each: %d SCM + %d QLC SSDs per DBox]\n",
+		vcfg.DBoxes, vcfg.SCMPerDBox, vcfg.QLCPerDBox)
+	fmt.Fprintf(&b, "   writes: stage to %d SCM replicas, ack, background\n", vcfg.SCMReplicas)
+	fmt.Fprintf(&b, "   similarity-reduce (%.0fx) and migrate to QLC\n", vcfg.ReductionRatio)
+
+	b.WriteString("\nFig. 1b — GPFS on Lassen (InfiniBand SAN, no gateway)\n\n")
+	fmt.Fprintf(&b, "  [%d Lassen compute nodes, pagepool client cache %s each]\n",
+		cluster.LassenSpec().Nodes, units.Bytes(gcfg.ClientCacheBytes))
+	b.WriteString("        |  EDR InfiniBand SAN, striped across all servers\n")
+	b.WriteString("        v\n")
+	fmt.Fprintf(&b, "  [%d PowerPC64 NSD servers, %s NIC each]\n",
+		gcfg.NSDServers, units.BPS(gcfg.ServerNICBW))
+	b.WriteString("        |\n")
+	b.WriteString("        v\n")
+	fmt.Fprintf(&b, "  [GPFS-RAID arrays: %d spindle-equivalents per NSD, %s seq read each]\n",
+		gcfg.RaidPerServer.Units, units.BPS(gcfg.RaidPerServer.ReadBW))
+	b.WriteString("   reads: server cache + aggressive readahead; random reads seek\n")
+	return b.String(), nil
+}

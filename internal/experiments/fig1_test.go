@@ -1,0 +1,30 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFig1DiagramsReflectDeployments(t *testing.T) {
+	out, err := Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The numbers come from the live constructors — if a deployment
+	// parameter changes, the diagram follows. Assert the Section IV-B
+	// facts the paper's Figure 1 encodes.
+	for _, want := range []string{
+		"Fig. 1a", "Fig. 1b",
+		"795 Lassen compute nodes",
+		"2x100Gb Ethernet",            // the single gateway
+		"16 CNodes",                   // LC VAST
+		"5 DBoxes", "6 SCM", "22 QLC", // enclosure contents
+		"stage to 2 SCM replicas",  // write path
+		"16 PowerPC64 NSD servers", // GPFS side
+		"random reads seek",        // the HDD mechanism
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure 1 missing %q:\n%s", want, out)
+		}
+	}
+}

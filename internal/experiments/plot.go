@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"storagesim/internal/stats"
+)
+
+// RenderPlot draws the panel as an ASCII chart — the terminal stand-in for
+// the paper's line plots. The X axis uses the series' sample points
+// (spaced evenly, since the paper's node counts are powers of two), the Y
+// axis is linear from zero, and each series gets a distinct glyph.
+func (p Panel) RenderPlot() string {
+	if len(p.Series) == 0 || len(p.Series[0].Points) == 0 {
+		return p.Render()
+	}
+	const (
+		height = 16
+		colW   = 9
+	)
+	glyphs := []byte{'*', 'o', '+', 'x', '#', '@'}
+
+	xs := make([]float64, 0, len(p.Series[0].Points))
+	for _, pt := range p.Series[0].Points {
+		xs = append(xs, pt.X)
+	}
+	maxY := 0.0
+	for _, s := range p.Series {
+		for _, pt := range s.Points {
+			if pt.Y > maxY {
+				maxY = pt.Y
+			}
+		}
+	}
+	if maxY <= 0 || math.IsNaN(maxY) {
+		return p.Render()
+	}
+
+	width := len(xs) * colW
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range p.Series {
+		g := glyphs[si%len(glyphs)]
+		prevRow, prevCol := -1, -1
+		for xi, x := range xs {
+			y := s.YAt(x)
+			if math.IsNaN(y) {
+				continue
+			}
+			row := height - 1 - int(y/maxY*float64(height-1)+0.5)
+			if row < 0 {
+				row = 0
+			}
+			col := xi*colW + colW/2
+			grid[row][col] = g
+			// connect with a sparse vertical run so trends read at a glance
+			if prevCol >= 0 && prevRow != row {
+				step := 1
+				if prevRow > row {
+					step = -1
+				}
+				for r := prevRow + step; r != row; r += step {
+					mid := (prevCol + col) / 2
+					if grid[r][mid] == ' ' {
+						grid[r][mid] = '.'
+					}
+				}
+			}
+			prevRow, prevCol = row, col
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", p.ID, p.Title)
+	for _, s := range p.Series {
+		fmt.Fprintf(&b, "   %c = %s", glyphs[indexOf(p.Series, s.Name)%len(glyphs)], s.Name)
+	}
+	b.WriteString("\n")
+	for r, line := range grid {
+		label := "          "
+		if r == 0 {
+			label = fmt.Sprintf("%9.4g ", maxY)
+		} else if r == height-1 {
+			label = fmt.Sprintf("%9.4g ", 0.0)
+		}
+		fmt.Fprintf(&b, "%s|%s\n", label, string(line))
+	}
+	b.WriteString(strings.Repeat(" ", 10) + "+" + strings.Repeat("-", width) + "\n")
+	b.WriteString(strings.Repeat(" ", 10))
+	for _, x := range xs {
+		fmt.Fprintf(&b, " %-*g", colW-1, x)
+	}
+	fmt.Fprintf(&b, "\n%s(%s vs %s)\n", strings.Repeat(" ", 10), p.YLabel, p.XLabel)
+	return b.String()
+}
+
+// indexOf finds a series index by name.
+func indexOf(ss []stats.Series, name string) int {
+	for i, s := range ss {
+		if s.Name == name {
+			return i
+		}
+	}
+	return 0
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"storagesim/internal/stats"
+)
+
+func demoPanel() Panel {
+	p := Panel{ID: "demo", Title: "demo panel", XLabel: "nodes", YLabel: "GB/s"}
+	s1 := stats.Series{Name: "vast"}
+	s2 := stats.Series{Name: "gpfs"}
+	for _, x := range []float64{1, 4, 16, 64} {
+		s1.Append(x, x*1.1, 0)
+		s2.Append(x, x*2.5, 0)
+	}
+	p.Series = []stats.Series{s1, s2}
+	return p
+}
+
+func TestRenderPlotContainsAllSeries(t *testing.T) {
+	out := demoPanel().RenderPlot()
+	for _, want := range []string{"demo panel", "* = vast", "o = gpfs", "160", "GB/s vs nodes"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "*") < 4 || strings.Count(out, "o") < 4 {
+		t.Fatalf("plot lost data points:\n%s", out)
+	}
+}
+
+func TestRenderPlotFlatSeries(t *testing.T) {
+	// A saturated (flat) curve must not panic or distort: the regression
+	// case where consecutive points share a row.
+	p := Panel{ID: "flat", Title: "flat", XLabel: "x", YLabel: "y"}
+	s := stats.Series{Name: "flat"}
+	for _, x := range []float64{1, 2, 3, 4} {
+		s.Append(x, 25, 0)
+	}
+	p.Series = []stats.Series{s}
+	out := p.RenderPlot()
+	if !strings.Contains(out, "*") {
+		t.Fatalf("flat plot empty:\n%s", out)
+	}
+}
+
+func TestRenderPlotEmptyFallsBack(t *testing.T) {
+	p := Panel{ID: "e", Title: "empty"}
+	if out := p.RenderPlot(); !strings.Contains(out, "empty") {
+		t.Fatalf("empty panel render: %q", out)
+	}
+	// All-zero series also falls back to the table.
+	s := stats.Series{Name: "z"}
+	s.Append(1, 0, 0)
+	p.Series = []stats.Series{s}
+	if out := p.RenderPlot(); !strings.Contains(out, "== e: empty ==") {
+		t.Fatalf("zero panel render: %q", out)
+	}
+}

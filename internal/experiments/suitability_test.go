@@ -1,0 +1,43 @@
+package experiments
+
+import "testing"
+
+func TestWorkloadSuitabilityMatrix(t *testing.T) {
+	tab, err := WorkloadSuitability(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 6 {
+		t.Fatalf("suitability rows = %d, want the catalogue", len(tab.Rows))
+	}
+	byName := map[string][]string{}
+	for _, row := range tab.Rows {
+		byName[row[0]] = row
+	}
+	// The paper's application-user takeaway: ResNet-50 is viable on VAST.
+	if row := byName["ResNet-50"]; row == nil || row[4] != "yes" {
+		t.Fatalf("ResNet-50 verdict = %v, want yes", byName["ResNet-50"])
+	}
+	// Bandwidth-hungry sequential readers are not, behind the TCP gateway.
+	if row := byName["KMeans"]; row == nil || row[4] == "yes" {
+		t.Fatalf("KMeans verdict = %v, want no (TCP ceiling)", byName["KMeans"])
+	}
+	// Every row has a filled verdict.
+	for _, row := range tab.Rows {
+		if row[4] == "" {
+			t.Fatalf("row %v missing verdict", row)
+		}
+	}
+}
+
+func TestVerdictRule(t *testing.T) {
+	if verdict(8, 10) != "yes" {
+		t.Fatal("80% must qualify")
+	}
+	if verdict(7.9, 10) == "yes" {
+		t.Fatal("79% must not qualify")
+	}
+	if verdict(1, 0) != "n/a" {
+		t.Fatal("zero baseline must be n/a")
+	}
+}

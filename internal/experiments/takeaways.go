@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+
+	"storagesim/internal/ior"
+)
+
+// TakeawayRDMAvsTCP quantifies the system-administrator takeaway of
+// Section VII: per-node write and read bandwidth of VAST behind the
+// NFS/RDMA deployment (Wombat) versus the NFS/TCP deployment (Lassen),
+// measured at the two-node scale where neither backend saturates.
+func TakeawayRDMAvsTCP(opts Options) (Table, error) {
+	opts = opts.withDefaults()
+	// One node: the scale at which the paper quotes per-node deployment
+	// bandwidths (neither backend pool is shared with other nodes yet).
+	const nodes, ppn, segments = 1, 44, 3000
+	row := func(machine, label string) ([]string, float64, float64, error) {
+		w, err := iorPoint(machine, VAST, nodes, ppn, ior.Scientific, segments, false, 1, opts.Seed, nil)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		r, err := iorPoint(machine, VAST, nodes, ppn, ior.Analytics, segments, false, 1, opts.Seed, nil)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		wPer, rPer := w/float64(nodes), r/float64(nodes)
+		return []string{label, fmt.Sprintf("%.2f", wPer), fmt.Sprintf("%.2f", rPer)}, wPer, rPer, nil
+	}
+	tcpRow, tcpW, tcpR, err := row("Lassen", "NFS/TCP (Lassen)")
+	if err != nil {
+		return Table{}, err
+	}
+	rdmaRow, rdmaW, rdmaR, err := row("Wombat", "NFS/RDMA+nconnect+multipath (Wombat)")
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:     "takeaway-rdma-vs-tcp",
+		Title:  "VAST per-node bandwidth by deployment (GB/s)",
+		Header: []string{"deployment", "write GB/s per node", "read GB/s per node"},
+		Rows:   [][]string{tcpRow, rdmaRow},
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("RDMA/TCP ratio: write %.1fx, read %.1fx (paper: up to 8x, ~8 GB/s vs ~1 GB/s per node)",
+			rdmaW/tcpW, rdmaR/tcpR))
+	return t, nil
+}
+
+// TakeawaySeqVsRandom quantifies the I/O-researcher takeaway: GPFS loses
+// ~90% of its per-node read bandwidth going sequential → random while
+// RDMA-deployed VAST stays consistent. Following the paper's framing, each
+// per-node figure is taken at its characteristic scale: GPFS sequential at
+// a modest node count (its unsaturated ~14.5 GB/s/node), GPFS random at
+// the full 128-node scale where the seek-bound pool pins every node to
+// ~1.4 GB/s; VAST on the Wombat RDMA deployment.
+func TakeawaySeqVsRandom(opts Options) (Table, error) {
+	opts = opts.withDefaults()
+	const segments = 3000
+	seqNodes, randNodes := 8, 128
+	if opts.Quick {
+		seqNodes, randNodes = 4, 64
+	}
+	gSeq, err := iorPoint("Lassen", GPFS, seqNodes, 44, ior.Analytics, segments, false, 1, opts.Seed, nil)
+	if err != nil {
+		return Table{}, err
+	}
+	gRand, err := iorPoint("Lassen", GPFS, randNodes, 44, ior.ML, segments, false, 1, opts.Seed, nil)
+	if err != nil {
+		return Table{}, err
+	}
+	vSeq, err := iorPoint("Wombat", VAST, 2, 48, ior.Analytics, segments, false, 1, opts.Seed, nil)
+	if err != nil {
+		return Table{}, err
+	}
+	vRand, err := iorPoint("Wombat", VAST, 2, 48, ior.ML, segments, false, 1, opts.Seed, nil)
+	if err != nil {
+		return Table{}, err
+	}
+	gSeqPer, gRandPer := gSeq/float64(seqNodes), gRand/float64(randNodes)
+	vSeqPer, vRandPer := vSeq/2, vRand/2
+	t := Table{
+		ID:     "takeaway-seq-vs-random",
+		Title:  "Per-node read bandwidth: sequential vs random (GB/s)",
+		Header: []string{"file system", "seq GB/s per node", "random GB/s per node", "drop"},
+		Rows: [][]string{
+			{"GPFS (HDD, Lassen)", fmt.Sprintf("%.2f", gSeqPer), fmt.Sprintf("%.2f", gRandPer),
+				fmt.Sprintf("%.0f%%", 100*(1-gRandPer/gSeqPer))},
+			{"VAST (SCM/QLC, RDMA, Wombat)", fmt.Sprintf("%.2f", vSeqPer), fmt.Sprintf("%.2f", vRandPer),
+				fmt.Sprintf("%.0f%%", 100*(1-vRandPer/vSeqPer))},
+		},
+		Notes: []string{"paper: GPFS 14.5 -> 1.4 GB/s (-90%); VAST 9 -> 7 GB/s (consistent)"},
+	}
+	return t, nil
+}

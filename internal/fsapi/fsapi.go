@@ -1,0 +1,146 @@
+// Package fsapi defines the POSIX-flavoured client interface every
+// simulated storage system (VAST, GPFS, Lustre, node-local NVMe) exposes
+// and the IOR and DLIO engines program against.
+//
+// Two levels of interaction mirror the two experiment families in the
+// paper:
+//
+//   - Op level: Open/ReadAt/WriteAt/Fsync/Close with per-operation latency,
+//     used by the single-node fsync tests and the DLIO sample pipeline.
+//   - Flow level: StreamRead/StreamWrite move a whole phase's bytes as one
+//     fair-shared flow, used by the large IOR scalability sweeps where the
+//     paper sizes I/O to defeat caches.
+package fsapi
+
+import (
+	"fmt"
+
+	"storagesim/internal/device"
+	"storagesim/internal/sim"
+)
+
+// Access re-exports the device package's pattern type for convenience.
+type Access = device.Access
+
+// Pattern constants.
+const (
+	Sequential = device.Sequential
+	Random     = device.Random
+)
+
+// Client is a per-compute-node mount of a file system.
+type Client interface {
+	// FSName identifies the file system ("vast", "gpfs", ...).
+	FSName() string
+	// NodeName identifies the compute node this mount belongs to.
+	NodeName() string
+
+	// Open returns a handle to path, creating the file if needed and
+	// truncating it when truncate is set.
+	Open(p *sim.Proc, path string, truncate bool) File
+
+	// StreamWrite writes total bytes to path as one flow with the given
+	// spatial pattern and per-op transfer size.
+	StreamWrite(p *sim.Proc, path string, a Access, ioSize, total int64)
+	// StreamRead reads total bytes from path likewise.
+	StreamRead(p *sim.Proc, path string, a Access, ioSize, total int64)
+
+	// Remove unlinks path (a metadata round trip); removing a missing path
+	// is a no-op, like rm -f.
+	Remove(p *sim.Proc, path string)
+
+	// DropCaches invalidates client-side caches — the simulator's handle on
+	// the paper's "a different client read the requests than the one who
+	// generated the writes" methodology.
+	DropCaches()
+}
+
+// File is an open handle.
+type File interface {
+	// Path returns the file's path.
+	Path() string
+	// Size returns the current file size in bytes.
+	Size() int64
+	// WriteAt writes n bytes at offset off (data content is not modeled).
+	WriteAt(p *sim.Proc, off, n int64)
+	// ReadAt reads n bytes at offset off.
+	ReadAt(p *sim.Proc, off, n int64)
+	// Fsync flushes all buffered dirty data for this file to the storage
+	// system's durable commit point.
+	Fsync(p *sim.Proc)
+	// Close releases the handle (close-to-open consistency models may
+	// flush or invalidate here).
+	Close(p *sim.Proc)
+}
+
+// Inode is the shared metadata record of one file in a Namespace.
+type Inode struct {
+	ID   uint64
+	Path string
+	Size int64
+}
+
+// Namespace is the server-side file table shared by all clients of one file
+// system instance.
+type Namespace struct {
+	byPath map[string]*Inode
+	byID   map[uint64]*Inode
+	nextID uint64
+}
+
+// NewNamespace returns an empty namespace. IDs start at 1 so that 0 can
+// mean "no file" in cache bookkeeping.
+func NewNamespace() *Namespace {
+	return &Namespace{byPath: map[string]*Inode{}, byID: map[uint64]*Inode{}, nextID: 1}
+}
+
+// Lookup returns the inode for path, or nil.
+func (ns *Namespace) Lookup(path string) *Inode { return ns.byPath[path] }
+
+// ByID returns the inode with the given id, or nil.
+func (ns *Namespace) ByID(id uint64) *Inode { return ns.byID[id] }
+
+// Create returns the inode for path, creating it on first use and
+// truncating when requested.
+func (ns *Namespace) Create(path string, truncate bool) *Inode {
+	ino, ok := ns.byPath[path]
+	if !ok {
+		ino = &Inode{ID: ns.nextID, Path: path}
+		ns.nextID++
+		ns.byPath[path] = ino
+		ns.byID[ino.ID] = ino
+	}
+	if truncate {
+		ino.Size = 0
+	}
+	return ino
+}
+
+// Extend grows the inode to cover [off, off+n).
+func (ns *Namespace) Extend(ino *Inode, off, n int64) {
+	if end := off + n; end > ino.Size {
+		ino.Size = end
+	}
+}
+
+// Remove unlinks path, returning the removed inode (nil when absent).
+func (ns *Namespace) Remove(path string) *Inode {
+	ino, ok := ns.byPath[path]
+	if !ok {
+		return nil
+	}
+	delete(ns.byPath, path)
+	delete(ns.byID, ino.ID)
+	return ino
+}
+
+// Len returns the number of files.
+func (ns *Namespace) Len() int { return len(ns.byPath) }
+
+// ValidateRead panics when a read exceeds the file size: benchmarks always
+// read what they (or a peer) wrote, so an overrun is a harness bug.
+func ValidateRead(ino *Inode, off, n int64) {
+	if off < 0 || n < 0 || off+n > ino.Size {
+		panic(fmt.Sprintf("fsapi: read [%d,+%d) beyond EOF %d of %s", off, n, ino.Size, ino.Path))
+	}
+}

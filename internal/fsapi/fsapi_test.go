@@ -1,0 +1,103 @@
+package fsapi
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNamespaceCreateAndLookup(t *testing.T) {
+	ns := NewNamespace()
+	if ns.Lookup("/a") != nil {
+		t.Fatal("lookup of missing path succeeded")
+	}
+	a := ns.Create("/a", false)
+	if a == nil || a.ID == 0 {
+		t.Fatalf("create returned %+v (IDs must start at 1)", a)
+	}
+	if got := ns.Lookup("/a"); got != a {
+		t.Fatal("lookup returned a different inode")
+	}
+	if got := ns.ByID(a.ID); got != a {
+		t.Fatal("ByID returned a different inode")
+	}
+	if ns.Len() != 1 {
+		t.Fatalf("len = %d", ns.Len())
+	}
+}
+
+func TestCreateIsIdempotent(t *testing.T) {
+	ns := NewNamespace()
+	a := ns.Create("/a", false)
+	b := ns.Create("/a", false)
+	if a != b {
+		t.Fatal("second create made a new inode")
+	}
+}
+
+func TestTruncateResetsSize(t *testing.T) {
+	ns := NewNamespace()
+	a := ns.Create("/a", false)
+	ns.Extend(a, 0, 100)
+	if a.Size != 100 {
+		t.Fatalf("size = %d", a.Size)
+	}
+	ns.Create("/a", true)
+	if a.Size != 0 {
+		t.Fatalf("size after truncate = %d", a.Size)
+	}
+}
+
+func TestExtendOnlyGrows(t *testing.T) {
+	ns := NewNamespace()
+	a := ns.Create("/a", false)
+	ns.Extend(a, 0, 100)
+	ns.Extend(a, 10, 20) // interior write: no growth
+	if a.Size != 100 {
+		t.Fatalf("interior write changed size to %d", a.Size)
+	}
+	ns.Extend(a, 90, 20)
+	if a.Size != 110 {
+		t.Fatalf("extending write gave size %d", a.Size)
+	}
+}
+
+func TestValidateRead(t *testing.T) {
+	ns := NewNamespace()
+	a := ns.Create("/a", false)
+	ns.Extend(a, 0, 100)
+	ValidateRead(a, 0, 100) // ok
+	ValidateRead(a, 50, 50) // ok
+	for _, c := range []struct{ off, n int64 }{{0, 101}, {100, 1}, {-1, 10}, {0, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ValidateRead(%d, %d) did not panic", c.off, c.n)
+				}
+			}()
+			ValidateRead(a, c.off, c.n)
+		}()
+	}
+}
+
+// Property: distinct paths always get distinct IDs, and ByID inverts
+// Create.
+func TestNamespaceIDProperty(t *testing.T) {
+	f := func(paths []string) bool {
+		ns := NewNamespace()
+		seen := map[uint64]string{}
+		for _, p := range paths {
+			ino := ns.Create(p, false)
+			if prev, ok := seen[ino.ID]; ok && prev != p {
+				return false // ID collision across different paths
+			}
+			seen[ino.ID] = p
+			if ns.ByID(ino.ID) != ino {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,137 @@
+package ior_test
+
+// Calibration probes: these tests print the simulated curves for the
+// paper's main figures so that shape regressions are visible in -v output,
+// and assert only the coarse shape properties the reproduction targets.
+
+import (
+	"testing"
+
+	"storagesim/internal/cluster"
+	"storagesim/internal/fsapi"
+	"storagesim/internal/ior"
+	"storagesim/internal/sim"
+	"storagesim/internal/units"
+)
+
+type mounter interface {
+	Mount(node string, nic interface{ Ignore() }) fsapi.Client
+}
+
+// runScal runs one IOR configuration at the given node count on a fresh
+// simulation of machine+fs and returns the result.
+func runScal(t *testing.T, machine string, nodes, ppn int, wl ior.Workload, fsName string, segments int, fsync bool) ior.Result {
+	t.Helper()
+	env := sim.NewEnv()
+	fab := sim.NewFabric(env)
+	spec, err := cluster.MachineByName(machine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := cluster.MustNew(env, fab, spec, nodes)
+	var mounts []fsapi.Client
+	mount := func(m func(string, *cluster.Cluster, int) fsapi.Client) {
+		for i := 0; i < nodes; i++ {
+			mounts = append(mounts, m(cl.Node(i).Name, cl, i))
+		}
+	}
+	switch machine + "/" + fsName {
+	case "Lassen/vast":
+		sys := cluster.VASTOnLassen(cl)
+		mount(func(n string, c *cluster.Cluster, i int) fsapi.Client { return sys.Mount(n, c.Node(i).NIC) })
+	case "Lassen/gpfs":
+		sys := cluster.GPFSOnLassen(cl)
+		mount(func(n string, c *cluster.Cluster, i int) fsapi.Client { return sys.Mount(n, c.Node(i).NIC) })
+	case "Wombat/vast":
+		sys := cluster.VASTOnWombat(cl)
+		mount(func(n string, c *cluster.Cluster, i int) fsapi.Client { return sys.Mount(n, c.Node(i).NIC) })
+	case "Wombat/nvme":
+		sys := cluster.NVMeOnWombat(cl)
+		mount(func(n string, c *cluster.Cluster, i int) fsapi.Client { return sys.Mount(n, c.Node(i).NIC) })
+	case "Ruby/vast":
+		sys := cluster.VASTOnRuby(cl)
+		mount(func(n string, c *cluster.Cluster, i int) fsapi.Client { return sys.Mount(n, c.Node(i).NIC) })
+	case "Ruby/lustre", "Quartz/lustre":
+		sys := cluster.LustreOn(cl)
+		mount(func(n string, c *cluster.Cluster, i int) fsapi.Client { return sys.Mount(n, c.Node(i).NIC) })
+	case "Quartz/vast":
+		sys := cluster.VASTOnQuartz(cl)
+		mount(func(n string, c *cluster.Cluster, i int) fsapi.Client { return sys.Mount(n, c.Node(i).NIC) })
+	default:
+		t.Fatalf("unknown combo %s/%s", machine, fsName)
+	}
+	res, err := ior.Run(env, mounts, ior.Config{
+		Workload:     wl,
+		BlockSize:    1 << 20,
+		TransferSize: 1 << 20,
+		Segments:     segments,
+		ProcsPerNode: ppn,
+		Fsync:        fsync,
+		ReorderTasks: true,
+		Seed:         42,
+		Dir:          "/bench",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestCalibrateFig2aShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration sweep")
+	}
+	nodesList := []int{1, 2, 4, 8, 16, 32, 64, 128}
+	for _, wl := range []ior.Workload{ior.Scientific, ior.Analytics, ior.ML} {
+		for _, fs := range []string{"vast", "gpfs"} {
+			for _, n := range nodesList {
+				res := runScal(t, "Lassen", n, 44, wl, fs, 3000, false)
+				bw := res.WriteBW
+				if wl != ior.Scientific {
+					bw = res.ReadBW
+				}
+				t.Logf("fig2a %-22s %-5s nodes=%3d agg=%8.2f GB/s per-node=%6.2f",
+					wl, fs, n, bw/1e9, bw/1e9/float64(n))
+			}
+		}
+	}
+}
+
+func TestCalibrateFig2bShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration sweep")
+	}
+	for _, wl := range []ior.Workload{ior.Scientific, ior.Analytics, ior.ML} {
+		for _, fs := range []string{"vast", "nvme"} {
+			for _, n := range []int{1, 2, 4, 8} {
+				res := runScal(t, "Wombat", n, 48, wl, fs, 3000, false)
+				bw := res.WriteBW
+				if wl != ior.Scientific {
+					bw = res.ReadBW
+				}
+				t.Logf("fig2b %-22s %-5s nodes=%d agg=%8.2f GB/s per-node=%6.2f",
+					wl, fs, n, bw/1e9, bw/1e9/float64(n))
+			}
+		}
+	}
+}
+
+func TestCalibrateFig3Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration sweep")
+	}
+	cases := []struct{ machine, fs string }{
+		{"Lassen", "vast"}, {"Lassen", "gpfs"},
+		{"Ruby", "vast"}, {"Ruby", "lustre"},
+		{"Quartz", "vast"}, {"Quartz", "lustre"},
+		{"Wombat", "vast"}, {"Wombat", "nvme"},
+	}
+	for _, c := range cases {
+		for _, procs := range []int{1, 4, 16, 32} {
+			w := runScal(t, c.machine, 1, procs, ior.Scientific, c.fs, 32, true)
+			r := runScal(t, c.machine, 1, procs, ior.Analytics, c.fs, 32, true)
+			t.Logf("fig3 %-7s %-6s procs=%2d write=%8s read=%8s",
+				c.machine, c.fs, procs, units.BPS(w.WriteBW), units.BPS(r.ReadBW))
+		}
+	}
+}

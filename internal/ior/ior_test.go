@@ -1,0 +1,266 @@
+package ior
+
+import (
+	"fmt"
+	"testing"
+
+	"storagesim/internal/fsapi"
+	"storagesim/internal/sim"
+)
+
+// fakeClient is an in-memory fsapi.Client with fixed per-byte costs, used
+// to unit-test the IOR engine's accounting independent of the storage
+// models.
+type fakeClient struct {
+	node    string
+	ns      *fsapi.Namespace
+	fab     *sim.Fabric
+	pipe    *sim.Pipe
+	streams []string // stream log
+	drops   int
+	opReads int
+}
+
+func newFake(env *sim.Env, node string, bw float64) *fakeClient {
+	fab := sim.NewFabric(env)
+	return &fakeClient{
+		node: node,
+		ns:   fsapi.NewNamespace(),
+		fab:  fab,
+		pipe: fab.NewPipe(node+"/pipe", bw, 0),
+	}
+}
+
+func (c *fakeClient) FSName() string   { return "fake" }
+func (c *fakeClient) NodeName() string { return c.node }
+func (c *fakeClient) DropCaches()      { c.drops++ }
+
+func (c *fakeClient) Remove(p *sim.Proc, path string) { c.ns.Remove(path) }
+
+func (c *fakeClient) StreamWrite(p *sim.Proc, path string, a fsapi.Access, ioSize, total int64) {
+	ino := c.ns.Create(path, false)
+	c.ns.Extend(ino, 0, total)
+	c.streams = append(c.streams, fmt.Sprintf("w:%s:%s:%d", path, a, total))
+	c.fab.Transfer(p, []*sim.Pipe{c.pipe}, float64(total), 0)
+}
+
+func (c *fakeClient) StreamRead(p *sim.Proc, path string, a fsapi.Access, ioSize, total int64) {
+	c.streams = append(c.streams, fmt.Sprintf("r:%s:%s:%d", path, a, total))
+	c.fab.Transfer(p, []*sim.Pipe{c.pipe}, float64(total), 0)
+}
+
+func (c *fakeClient) Open(p *sim.Proc, path string, truncate bool) fsapi.File {
+	return &fakeFile{c: c, ino: c.ns.Create(path, truncate)}
+}
+
+type fakeFile struct {
+	c   *fakeClient
+	ino *fsapi.Inode
+}
+
+func (f *fakeFile) Path() string { return f.ino.Path }
+func (f *fakeFile) Size() int64  { return f.ino.Size }
+func (f *fakeFile) WriteAt(p *sim.Proc, off, n int64) {
+	f.c.ns.Extend(f.ino, off, n)
+	f.c.fab.Transfer(p, []*sim.Pipe{f.c.pipe}, float64(n), 0)
+}
+func (f *fakeFile) ReadAt(p *sim.Proc, off, n int64) {
+	fsapi.ValidateRead(f.ino, off, n)
+	f.c.opReads++
+	f.c.fab.Transfer(p, []*sim.Pipe{f.c.pipe}, float64(n), 0)
+}
+func (f *fakeFile) Fsync(p *sim.Proc) { p.Sleep(sim.Millisecond) }
+func (f *fakeFile) Close(p *sim.Proc) {}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{BlockSize: 0, TransferSize: 1, Segments: 1, ProcsPerNode: 1},
+		{BlockSize: 3, TransferSize: 2, Segments: 1, ProcsPerNode: 1}, // not a multiple
+		{BlockSize: 4, TransferSize: 2, Segments: 0, ProcsPerNode: 1},
+		{BlockSize: 4, TransferSize: 2, Segments: 1, ProcsPerNode: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	good := Config{BlockSize: 4 << 20, TransferSize: 1 << 20, Segments: 8, ProcsPerNode: 4}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	if good.BytesPerRank() != 32<<20 {
+		t.Fatalf("bytes per rank = %d", good.BytesPerRank())
+	}
+}
+
+func TestBandwidthAccounting(t *testing.T) {
+	// One node at exactly 1 GB/s: 4 ranks x 256 MB = 1 GiB should take
+	// ~1.07s and report ~1e9 B/s.
+	env := sim.NewEnv()
+	cl := newFake(env, "n0", 1e9)
+	res, err := Run(env, []fsapi.Client{cl}, Config{
+		Workload: Scientific, BlockSize: 1 << 20, TransferSize: 1 << 20,
+		Segments: 256, ProcsPerNode: 4, Dir: "/t",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ranks != 4 {
+		t.Fatalf("ranks = %d", res.Ranks)
+	}
+	if res.WriteBW < 0.99e9 || res.WriteBW > 1.01e9 {
+		t.Fatalf("write bw = %.3e, want ~1e9", res.WriteBW)
+	}
+	if res.ReadBW != 0 {
+		t.Fatal("scientific workload must not run a read phase")
+	}
+}
+
+func TestReadPhaseRunsForAnalytics(t *testing.T) {
+	env := sim.NewEnv()
+	cl := newFake(env, "n0", 1e9)
+	res, err := Run(env, []fsapi.Client{cl}, Config{
+		Workload: Analytics, BlockSize: 1 << 20, TransferSize: 1 << 20,
+		Segments: 16, ProcsPerNode: 2, Dir: "/t",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReadBW <= 0 {
+		t.Fatal("analytics read phase missing")
+	}
+	if cl.drops != 1 {
+		t.Fatalf("caches dropped %d times between phases, want 1", cl.drops)
+	}
+}
+
+func TestMLUsesRandomAccess(t *testing.T) {
+	env := sim.NewEnv()
+	cl := newFake(env, "n0", 1e9)
+	_, err := Run(env, []fsapi.Client{cl}, Config{
+		Workload: ML, BlockSize: 1 << 20, TransferSize: 1 << 20,
+		Segments: 4, ProcsPerNode: 1, Dir: "/t",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range cl.streams {
+		if s == "r:/t/ior.00000000:random:4194304" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("ML read not random: %v", cl.streams)
+	}
+}
+
+func TestTaskReorderingReadsPeerFile(t *testing.T) {
+	// 2 nodes x 2 ppn with reorder: rank r reads rank (r+2)%4's file.
+	env := sim.NewEnv()
+	c0 := newFake(env, "n0", 1e9)
+	c1 := newFake(env, "n1", 1e9)
+	_, err := Run(env, []fsapi.Client{c0, c1}, Config{
+		Workload: Analytics, BlockSize: 1 << 20, TransferSize: 1 << 20,
+		Segments: 1, ProcsPerNode: 2, ReorderTasks: true, Dir: "/t",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 0 hosts ranks 0,1 which must read files 2,3 (written on node 1).
+	wantReads := map[string]bool{
+		"r:/t/ior.00000002:seq:1048576": false,
+		"r:/t/ior.00000003:seq:1048576": false,
+	}
+	for _, s := range c0.streams {
+		if _, ok := wantReads[s]; ok {
+			wantReads[s] = true
+		}
+	}
+	for k, seen := range wantReads {
+		if !seen {
+			t.Errorf("node 0 did not read %s; streams: %v", k, c0.streams)
+		}
+	}
+}
+
+func TestWithoutReorderingReadsOwnFile(t *testing.T) {
+	env := sim.NewEnv()
+	c0 := newFake(env, "n0", 1e9)
+	_, err := Run(env, []fsapi.Client{c0}, Config{
+		Workload: Analytics, BlockSize: 1 << 20, TransferSize: 1 << 20,
+		Segments: 1, ProcsPerNode: 1, ReorderTasks: false, Dir: "/t",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range c0.streams {
+		if s == "r:/t/ior.00000000:seq:1048576" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("rank did not read its own file: %v", c0.streams)
+	}
+}
+
+func TestFsyncForcesOpLevel(t *testing.T) {
+	env := sim.NewEnv()
+	cl := newFake(env, "n0", 1e9)
+	_, err := Run(env, []fsapi.Client{cl}, Config{
+		Workload: Scientific, BlockSize: 1 << 20, TransferSize: 1 << 20,
+		Segments: 4, ProcsPerNode: 1, Fsync: true, Dir: "/t",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cl.streams) != 0 {
+		t.Fatalf("fsync run used flow-level streams: %v", cl.streams)
+	}
+}
+
+func TestOpLevelRandomReadCoversWholeFile(t *testing.T) {
+	env := sim.NewEnv()
+	cl := newFake(env, "n0", 1e9)
+	_, err := Run(env, []fsapi.Client{cl}, Config{
+		Workload: ML, BlockSize: 1 << 20, TransferSize: 1 << 20,
+		Segments: 16, ProcsPerNode: 1, OpLevel: true, Seed: 3, Dir: "/t",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.opReads != 16 {
+		t.Fatalf("op-level random read issued %d ops, want 16 (a permutation)", cl.opReads)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	env := sim.NewEnv()
+	if _, err := Run(env, nil, Config{BlockSize: 1, TransferSize: 1, Segments: 1, ProcsPerNode: 1}); err == nil {
+		t.Fatal("no mounts accepted")
+	}
+	cl := newFake(env, "n0", 1e9)
+	if _, err := Run(env, []fsapi.Client{cl}, Config{}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() Result {
+		env := sim.NewEnv()
+		cl := newFake(env, "n0", 1e9)
+		res, err := Run(env, []fsapi.Client{cl}, Config{
+			Workload: ML, BlockSize: 1 << 20, TransferSize: 1 << 20,
+			Segments: 32, ProcsPerNode: 4, Seed: 9, Dir: "/t",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("non-deterministic results:\n%+v\n%+v", a, b)
+	}
+}

@@ -1,0 +1,107 @@
+package ior
+
+import (
+	"testing"
+	"time"
+
+	"storagesim/internal/fsapi"
+	"storagesim/internal/sim"
+)
+
+func TestSharedFileUsesOnePath(t *testing.T) {
+	cfg := Config{Dir: "/t", SharedFile: true}
+	if fileName(cfg, 0) != fileName(cfg, 7) {
+		t.Fatal("shared-file mode produced per-rank paths")
+	}
+	cfg.SharedFile = false
+	if fileName(cfg, 0) == fileName(cfg, 7) {
+		t.Fatal("N-N mode produced one path")
+	}
+}
+
+func TestSharedOffsetSegmentedLayout(t *testing.T) {
+	cfg := Config{BlockSize: 1 << 20, TransferSize: 1 << 20}
+	// 4 ranks: segment s of rank r lands at block s*4+r.
+	cases := []struct {
+		rank, seg int
+		block     int64
+	}{
+		{0, 0, 0}, {1, 0, 1}, {3, 0, 3}, {0, 1, 4}, {2, 5, 22},
+	}
+	for _, c := range cases {
+		got := sharedOffset(cfg, c.rank, 4, c.seg, 0)
+		if got != c.block<<20 {
+			t.Errorf("offset(rank=%d seg=%d) = %d, want block %d", c.rank, c.seg, got, c.block)
+		}
+	}
+	// Sub-block transfers offset within the block.
+	if got := sharedOffset(cfg, 1, 4, 0, 512); got != 1<<20+512 {
+		t.Fatalf("transfer offset lost: %d", got)
+	}
+}
+
+func TestSharedFileWritesAreSlowerOpLevel(t *testing.T) {
+	// Against the same fake client, N-1 op-level writes must lose to N-N:
+	// lock round trips serialize on the bounded lock service.
+	run := func(shared bool) float64 {
+		env := sim.NewEnv()
+		cl := newFake(env, "n0", 10e9)
+		res, err := Run(env, []fsapi.Client{cl}, Config{
+			Workload: Scientific, BlockSize: 1 << 20, TransferSize: 1 << 20,
+			Segments: 16, ProcsPerNode: 8, OpLevel: true,
+			SharedFile: shared, LockLatency: time.Millisecond, Dir: "/t",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.WriteBW
+	}
+	nn, n1 := run(false), run(true)
+	if n1 >= nn {
+		t.Fatalf("N-1 (%.2e) not slower than N-N (%.2e)", n1, nn)
+	}
+	if n1 > 0.7*nn {
+		t.Fatalf("lock overhead too mild: N-1 %.2e vs N-N %.2e", n1, nn)
+	}
+}
+
+func TestSharedFileReadsCoverAllSegments(t *testing.T) {
+	env := sim.NewEnv()
+	cl := newFake(env, "n0", 10e9)
+	_, err := Run(env, []fsapi.Client{cl}, Config{
+		Workload: Analytics, BlockSize: 1 << 20, TransferSize: 1 << 20,
+		Segments: 8, ProcsPerNode: 4, OpLevel: true, SharedFile: true,
+		ReorderTasks: true, Dir: "/t",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 ranks x 8 segments read back = 32 ReadAt calls.
+	if cl.opReads != 32 {
+		t.Fatalf("shared reads = %d, want 32", cl.opReads)
+	}
+}
+
+func TestSharedFileFlowLevelDegradesToRandom(t *testing.T) {
+	env := sim.NewEnv()
+	cl := newFake(env, "n0", 10e9)
+	_, err := Run(env, []fsapi.Client{cl}, Config{
+		Workload: Analytics, BlockSize: 1 << 20, TransferSize: 1 << 20,
+		Segments: 4, ProcsPerNode: 1, SharedFile: true, Dir: "/t",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundRandomWrite, foundRandomRead := false, false
+	for _, s := range cl.streams {
+		if s == "w:/t/ior.shared:random:4194304" {
+			foundRandomWrite = true
+		}
+		if s == "r:/t/ior.shared:random:4194304" {
+			foundRandomRead = true
+		}
+	}
+	if !foundRandomWrite || !foundRandomRead {
+		t.Fatalf("flow-level N-1 did not degrade to random: %v", cl.streams)
+	}
+}

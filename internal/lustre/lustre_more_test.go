@@ -1,0 +1,95 @@
+package lustre
+
+import (
+	"testing"
+
+	"storagesim/internal/fsapi"
+	"storagesim/internal/netsim"
+	"storagesim/internal/sim"
+)
+
+func TestMustNewPanicsOnBadConfig(t *testing.T) {
+	env := sim.NewEnv()
+	fab := sim.NewFabric(env)
+	cfg := testConfig()
+	cfg.OSSCount = 0
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew accepted a bad config")
+		}
+	}()
+	MustNew(env, fab, cfg)
+}
+
+func TestSharedNamespaceAcrossMounts(t *testing.T) {
+	env, fab, sys := newTestSystem(t)
+	a := sys.Mount("a", netsim.NewIface(fab, "a/nic", 25e9, 0))
+	b := sys.Mount("b", netsim.NewIface(fab, "b/nic", 25e9, 0))
+	env.Go("x", func(p *sim.Proc) {
+		f := a.Open(p, "/shared", true)
+		f.WriteAt(p, 0, 1<<20)
+		f.Close(p)
+		g := b.Open(p, "/shared", false)
+		if g.Size() != 1<<20 {
+			t.Errorf("peer sees size %d", g.Size())
+		}
+	})
+	env.Run()
+}
+
+func TestRemoveUnlinks(t *testing.T) {
+	env, fab, sys := newTestSystem(t)
+	cl := sys.Mount("a", netsim.NewIface(fab, "a/nic", 25e9, 0))
+	env.Go("x", func(p *sim.Proc) {
+		f := cl.Open(p, "/f", true)
+		f.WriteAt(p, 0, 1<<20)
+		f.Close(p)
+		start := p.Now()
+		cl.Remove(p, "/f")
+		if cost := p.Now().Sub(start); cost != testConfig().MDSLatency {
+			t.Errorf("remove cost %v, want one MDS round trip", cost)
+		}
+		if sys.Namespace().Lookup("/f") != nil {
+			t.Error("file survived removal")
+		}
+		cl.Remove(p, "/f") // rm -f semantics: no-op
+	})
+	env.Run()
+}
+
+func TestClientIdentity(t *testing.T) {
+	_, fab, sys := newTestSystem(t)
+	cl := sys.Mount("nodeX", netsim.NewIface(fab, "x/nic", 25e9, 0))
+	if cl.FSName() != "lustre-test" || cl.NodeName() != "nodeX" {
+		t.Fatalf("identity: %s/%s", cl.FSName(), cl.NodeName())
+	}
+}
+
+func TestStreamReadRandomCapApplies(t *testing.T) {
+	// A random stream pays the blocking-request ceiling on top of the
+	// stripe cap: it must be strictly below the sequential rate even when
+	// the pool would allow more.
+	env, fab, sys := newTestSystem(t)
+	cl := sys.Mount("a", netsim.NewIface(fab, "a/nic", 25e9, 0))
+	var seqDur, rndDur sim.Duration
+	env.Go("x", func(p *sim.Proc) {
+		cl.StreamWrite(p, "/f", fsapi.Sequential, 1<<20, 1<<30)
+		start := p.Now()
+		cl.StreamRead(p, "/f", fsapi.Sequential, 1<<20, 1<<30)
+		seqDur = p.Now().Sub(start)
+		start = p.Now()
+		cl.StreamRead(p, "/f", fsapi.Random, 1<<20, 1<<30)
+		rndDur = p.Now().Sub(start)
+	})
+	env.Run()
+	if rndDur <= seqDur {
+		t.Fatalf("random (%v) not slower than sequential (%v)", rndDur, seqDur)
+	}
+}
+
+func TestConfigAccessor(t *testing.T) {
+	_, _, sys := newTestSystem(t)
+	if sys.Config().OSSCount != testConfig().OSSCount {
+		t.Fatal("config accessor diverged")
+	}
+}

@@ -1,0 +1,153 @@
+// Package netsim provides the network building blocks of the simulated
+// clusters: duplex links, NICs, gateway banks, and the client↔server
+// transports whose differences drive the paper's headline result (NFS over
+// a single TCP connection vs NFS over RDMA with nconnect and multipathing).
+package netsim
+
+import (
+	"fmt"
+
+	"storagesim/internal/sim"
+)
+
+// Direction distinguishes the two halves of a duplex path.
+type Direction int
+
+const (
+	// ClientToServer carries writes (and RPC requests).
+	ClientToServer Direction = iota
+	// ServerToClient carries reads (and RPC replies).
+	ServerToClient
+)
+
+// Duplex is a full-duplex link: independent bandwidth in each direction,
+// like Ethernet and InfiniBand links.
+type Duplex struct {
+	name string
+	// Up carries traffic client→server, Down the reverse.
+	Up, Down *sim.Pipe
+}
+
+// NewDuplex creates a duplex link with the given per-direction capacity in
+// bytes/second and one-way latency.
+func NewDuplex(fab *sim.Fabric, name string, bytesPerSec float64, latency sim.Duration) *Duplex {
+	return &Duplex{
+		name: name,
+		Up:   fab.NewPipe(name+"/up", bytesPerSec, latency),
+		Down: fab.NewPipe(name+"/down", bytesPerSec, latency),
+	}
+}
+
+// Name returns the link name.
+func (d *Duplex) Name() string { return d.name }
+
+// Dir returns the pipe carrying traffic in the given direction.
+func (d *Duplex) Dir(dir Direction) *sim.Pipe {
+	if dir == ClientToServer {
+		return d.Up
+	}
+	return d.Down
+}
+
+// SetCapacity changes both directions' capacity (ablation sweeps).
+func (d *Duplex) SetCapacity(bytesPerSec float64) {
+	d.Up.SetCapacity(bytesPerSec)
+	d.Down.SetCapacity(bytesPerSec)
+}
+
+// Derate multiplies both directions' capacity by f.
+func (d *Duplex) Derate(f float64) {
+	d.Up.SetCapacity(d.Up.Capacity() * f)
+	d.Down.SetCapacity(d.Down.Capacity() * f)
+}
+
+// LinkBank is a set of parallel duplex links treated as one aggregate hop —
+// the paper's gateway banks ("eight gateway nodes with a 1×40Gb link each")
+// and multipath rails. Flows are spread across members round-robin; with
+// multipath a single flow may stripe over all members.
+type LinkBank struct {
+	name  string
+	links []*Duplex
+	next  int
+
+	// lazily created multipath aggregates; see transport.go.
+	aggUp, aggDown *sim.Pipe
+}
+
+// NewLinkBank creates n parallel duplex links, each with the given capacity
+// and latency.
+func NewLinkBank(fab *sim.Fabric, name string, n int, bytesPerSec float64, latency sim.Duration) *LinkBank {
+	if n <= 0 {
+		panic("netsim: link bank needs at least one link")
+	}
+	b := &LinkBank{name: name}
+	for i := 0; i < n; i++ {
+		b.links = append(b.links, NewDuplex(fab, fmt.Sprintf("%s[%d]", name, i), bytesPerSec, latency))
+	}
+	return b
+}
+
+// Name returns the bank name.
+func (b *LinkBank) Name() string { return b.name }
+
+// Size returns the number of member links.
+func (b *LinkBank) Size() int { return len(b.links) }
+
+// Pick returns one member link, rotating round-robin — how a client without
+// multipath is pinned to one gateway.
+func (b *LinkBank) Pick() *Duplex {
+	l := b.links[b.next%len(b.links)]
+	b.next++
+	return l
+}
+
+// Links returns all member links (for multipath striping).
+func (b *LinkBank) Links() []*Duplex { return b.links }
+
+// AggregateCapacity returns the sum of member capacities in one direction.
+func (b *LinkBank) AggregateCapacity() float64 {
+	total := 0.0
+	for _, l := range b.links {
+		total += l.Up.Capacity()
+	}
+	return total
+}
+
+// Derate multiplies every member link's capacity by f (contention model).
+func (b *LinkBank) Derate(f float64) {
+	for _, l := range b.links {
+		l.Derate(f)
+	}
+	if b.aggUp != nil {
+		b.aggUp.SetCapacity(b.aggUp.Capacity() * f)
+	}
+	if b.aggDown != nil {
+		b.aggDown.SetCapacity(b.aggDown.Capacity() * f)
+	}
+}
+
+// SetCapacityPerLink updates every member, including any multipath
+// aggregate already derived from the bank (ablation sweeps).
+func (b *LinkBank) SetCapacityPerLink(bytesPerSec float64) {
+	for _, l := range b.links {
+		l.SetCapacity(bytesPerSec)
+	}
+	if b.aggUp != nil {
+		b.aggUp.SetCapacity(b.AggregateCapacity())
+	}
+	if b.aggDown != nil {
+		b.aggDown.SetCapacity(b.AggregateCapacity())
+	}
+}
+
+// Iface is a host network interface: a duplex pipe pair modelling the NIC
+// (and PCIe attach) of a compute node or storage server. A host may have
+// several rails.
+type Iface struct {
+	*Duplex
+}
+
+// NewIface creates a NIC with the given per-direction bandwidth.
+func NewIface(fab *sim.Fabric, name string, bytesPerSec float64, latency sim.Duration) *Iface {
+	return &Iface{Duplex: NewDuplex(fab, name, bytesPerSec, latency)}
+}

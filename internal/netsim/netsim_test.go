@@ -1,0 +1,235 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"storagesim/internal/sim"
+)
+
+func approx(got, want, tol float64) bool {
+	return math.Abs(got-want) <= tol*want
+}
+
+func TestDuplexIndependentDirections(t *testing.T) {
+	e := sim.NewEnv()
+	fab := sim.NewFabric(e)
+	d := NewDuplex(fab, "link", 1e9, 0)
+	var upEnd, downEnd sim.Time
+	e.Go("up", func(p *sim.Proc) {
+		fab.Transfer(p, []*sim.Pipe{d.Up}, 1e9, 0)
+		upEnd = p.Now()
+	})
+	e.Go("down", func(p *sim.Proc) {
+		fab.Transfer(p, []*sim.Pipe{d.Down}, 1e9, 0)
+		downEnd = p.Now()
+	})
+	e.Run()
+	// Full duplex: both directions get the full 1 GB/s simultaneously.
+	if !approx(sim.Duration(upEnd).Seconds(), 1.0, 1e-6) || !approx(sim.Duration(downEnd).Seconds(), 1.0, 1e-6) {
+		t.Fatalf("duplex contention: up=%v down=%v", sim.Duration(upEnd), sim.Duration(downEnd))
+	}
+}
+
+func TestDirSelection(t *testing.T) {
+	e := sim.NewEnv()
+	fab := sim.NewFabric(e)
+	d := NewDuplex(fab, "l", 1e9, 0)
+	if d.Dir(ClientToServer) != d.Up || d.Dir(ServerToClient) != d.Down {
+		t.Fatal("Dir mapping wrong")
+	}
+}
+
+func TestLinkBankRoundRobin(t *testing.T) {
+	e := sim.NewEnv()
+	fab := sim.NewFabric(e)
+	b := NewLinkBank(fab, "gw", 3, 1e9, 0)
+	seen := map[*Duplex]int{}
+	for i := 0; i < 6; i++ {
+		seen[b.Pick()]++
+	}
+	if len(seen) != 3 {
+		t.Fatalf("round robin used %d of 3 links", len(seen))
+	}
+	for _, n := range seen {
+		if n != 2 {
+			t.Fatalf("uneven pick distribution: %v", seen)
+		}
+	}
+}
+
+func TestLinkBankAggregateCapacity(t *testing.T) {
+	e := sim.NewEnv()
+	fab := sim.NewFabric(e)
+	b := NewLinkBank(fab, "gw", 8, 5e9, 0)
+	if b.AggregateCapacity() != 40e9 {
+		t.Fatalf("aggregate = %v", b.AggregateCapacity())
+	}
+}
+
+func TestTCPTransportSingleConnectionCap(t *testing.T) {
+	// One client stream over a fat gateway still gets only one
+	// connection's worth — the Lassen VAST story.
+	e := sim.NewEnv()
+	fab := sim.NewFabric(e)
+	gw := NewLinkBank(fab, "gw", 1, 25e9, 0)
+	tr := &TCPTransport{Gateways: gw, PerConnBW: 1.1e9, Connections: 1}
+	nic := NewIface(fab, "node0", 12.5e9, 0)
+	path := tr.Path(nic, ClientToServer, nil)
+	var end sim.Time
+	e.Go("x", func(p *sim.Proc) {
+		fab.Transfer(p, path.Pipes, 1.1e9, path.FlowCap)
+		end = p.Now()
+	})
+	e.Run()
+	if !approx(sim.Duration(end).Seconds(), 1.0, 1e-6) {
+		t.Fatalf("capped stream took %v, want 1s at 1.1GB/s", sim.Duration(end))
+	}
+}
+
+func TestTCPTransportGatewayAggregateBottleneck(t *testing.T) {
+	// 64 clients, 1.1 GB/s connection cap each, one 25 GB/s gateway link:
+	// aggregate must be 25 GB/s, not 70.4.
+	e := sim.NewEnv()
+	fab := sim.NewFabric(e)
+	gw := NewLinkBank(fab, "gw", 1, 25e9, 0)
+	tr := &TCPTransport{Gateways: gw, PerConnBW: 1.1e9, Connections: 1}
+	const n = 64
+	perClient := 25e9 / n * 2 // 2s worth at fair share
+	var last sim.Time
+	for i := 0; i < n; i++ {
+		nic := NewIface(fab, fmt.Sprintf("node%d", i), 12.5e9, 0)
+		path := tr.Path(nic, ClientToServer, nil)
+		e.Go(fmt.Sprintf("c%d", i), func(p *sim.Proc) {
+			fab.Transfer(p, path.Pipes, perClient, path.FlowCap)
+			if p.Now() > last {
+				last = p.Now()
+			}
+		})
+	}
+	e.Run()
+	if !approx(sim.Duration(last).Seconds(), 2.0, 0.01) {
+		t.Fatalf("aggregate over gateway took %v, want ~2s (25 GB/s cap)", sim.Duration(last))
+	}
+}
+
+func TestTCPTransportPinsClientToGateway(t *testing.T) {
+	e := sim.NewEnv()
+	fab := sim.NewFabric(e)
+	gw := NewLinkBank(fab, "gw", 4, 1e9, 0)
+	tr := &TCPTransport{Gateways: gw, PerConnBW: 1e9, Connections: 1}
+	nic := NewIface(fab, "node0", 12.5e9, 0)
+	p1 := tr.Path(nic, ClientToServer, nil)
+	p2 := tr.Path(nic, ClientToServer, nil)
+	if p1.Pipes[2] != p2.Pipes[2] {
+		t.Fatal("same client got different gateways on repeat calls")
+	}
+	nic2 := NewIface(fab, "node1", 12.5e9, 0)
+	p3 := tr.Path(nic2, ClientToServer, nil)
+	if p3.Pipes[2] == p1.Pipes[2] {
+		t.Fatal("second client not spread to a different gateway")
+	}
+	if p1.Pipes[1] == p3.Pipes[1] {
+		t.Fatal("two nodes share one connection pipe")
+	}
+}
+
+func TestRDMAMultipathUsesAggregate(t *testing.T) {
+	// A single RDMA+multipath+nconnect stream can exceed one rail.
+	e := sim.NewEnv()
+	fab := sim.NewFabric(e)
+	rails := NewLinkBank(fab, "rails", 2, 6.25e9, 0)
+	tr := &RDMATransport{Rails: rails, PerConnBW: 1.1e9, Connections: 16, Multipath: true}
+	nic := NewIface(fab, "node0", 25e9, 0)
+	path := tr.Path(nic, ServerToClient, nil)
+	var end sim.Time
+	e.Go("x", func(p *sim.Proc) {
+		fab.Transfer(p, path.Pipes, 12.5e9, path.FlowCap)
+		end = p.Now()
+	})
+	e.Run()
+	// 12.5 GB over a 12.5 GB/s aggregate = 1s; a single rail would take 2s.
+	if !approx(sim.Duration(end).Seconds(), 1.0, 1e-6) {
+		t.Fatalf("multipath stream took %v, want 1s", sim.Duration(end))
+	}
+}
+
+func TestRDMAWithoutMultipathPinsToRail(t *testing.T) {
+	e := sim.NewEnv()
+	fab := sim.NewFabric(e)
+	rails := NewLinkBank(fab, "rails", 2, 6.25e9, 0)
+	tr := &RDMATransport{Rails: rails, PerConnBW: 8e9, Connections: 1, Multipath: false}
+	nic := NewIface(fab, "node0", 25e9, 0)
+	path := tr.Path(nic, ServerToClient, nil)
+	var end sim.Time
+	e.Go("x", func(p *sim.Proc) {
+		fab.Transfer(p, path.Pipes, 6.25e9, path.FlowCap)
+		end = p.Now()
+	})
+	e.Run()
+	if !approx(sim.Duration(end).Seconds(), 1.0, 1e-6) {
+		t.Fatalf("single-rail stream took %v, want 1s", sim.Duration(end))
+	}
+}
+
+func TestTransportRDMAvsTCPRatio(t *testing.T) {
+	// The admin takeaway in miniature: same server, same client NIC, the
+	// RDMA deployment moves one stream ~8x faster than the TCP one.
+	run := func(mk func(fab *sim.Fabric) Path) float64 {
+		e := sim.NewEnv()
+		fab := sim.NewFabric(e)
+		path := mk(fab)
+		var end sim.Time
+		e.Go("x", func(p *sim.Proc) {
+			fab.Transfer(p, path.Pipes, 8e9, path.FlowCap)
+			end = p.Now()
+		})
+		e.Run()
+		return 8e9 / sim.Duration(end).Seconds()
+	}
+	tcpBW := run(func(fab *sim.Fabric) Path {
+		gw := NewLinkBank(fab, "gw", 1, 25e9, 0)
+		tr := &TCPTransport{Gateways: gw, PerConnBW: 1.0e9, Connections: 1}
+		return tr.Path(NewIface(fab, "n", 12.5e9, 0), ClientToServer, nil)
+	})
+	rdmaBW := run(func(fab *sim.Fabric) Path {
+		rails := NewLinkBank(fab, "rails", 2, 6.25e9, 0)
+		tr := &RDMATransport{Rails: rails, PerConnBW: 1.0e9, Connections: 16, Multipath: true}
+		return tr.Path(NewIface(fab, "n", 12.5e9, 0), ClientToServer, nil)
+	})
+	ratio := rdmaBW / tcpBW
+	if ratio < 6 || ratio > 14 {
+		t.Fatalf("RDMA/TCP per-stream ratio = %.1f, want ~8x", ratio)
+	}
+}
+
+func TestPathLatencyAndRPC(t *testing.T) {
+	e := sim.NewEnv()
+	fab := sim.NewFabric(e)
+	gw := NewLinkBank(fab, "gw", 1, 25e9, 5*time.Microsecond)
+	tr := &TCPTransport{Gateways: gw, PerConnBW: 1e9, Connections: 1, RPC: 300 * time.Microsecond}
+	nic := NewIface(fab, "n", 12.5e9, 2*time.Microsecond)
+	path := tr.Path(nic, ClientToServer, nil)
+	if path.Latency() != 7*time.Microsecond {
+		t.Fatalf("path latency = %v, want 7us", path.Latency())
+	}
+	if path.RPCLatency != 300*time.Microsecond {
+		t.Fatalf("rpc latency = %v", path.RPCLatency)
+	}
+}
+
+func TestSetCapacityPerLinkUpdatesAggregate(t *testing.T) {
+	e := sim.NewEnv()
+	fab := sim.NewFabric(e)
+	rails := NewLinkBank(fab, "rails", 2, 5e9, 0)
+	agg := rails.aggregate(ClientToServer)
+	if agg.Capacity() != 10e9 {
+		t.Fatalf("aggregate = %v", agg.Capacity())
+	}
+	rails.SetCapacityPerLink(1e9)
+	if agg.Capacity() != 2e9 {
+		t.Fatalf("aggregate after resize = %v, want 2e9", agg.Capacity())
+	}
+}

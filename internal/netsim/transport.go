@@ -1,0 +1,241 @@
+package netsim
+
+import (
+	"storagesim/internal/sim"
+)
+
+// Path is the resolved network path of one I/O stream or RPC: the pipes the
+// bytes cross, a per-stream rate ceiling, and the request/response software
+// latency of the protocol stack.
+type Path struct {
+	// Pipes the payload traverses, in order. For NFS transports this
+	// includes the mount's connection pipe, whose capacity is the
+	// per-connection throughput times nconnect — shared by every rank on
+	// the node, which is why a whole 44-rank Lassen node cannot push more
+	// than ~1 GB/s into the TCP deployment of VAST.
+	Pipes []*sim.Pipe
+	// FlowCap bounds one stream's rate in bytes/sec (0 = unbounded); used
+	// for per-rank ceilings such as the blocking-request limit of random
+	// reads.
+	FlowCap float64
+	// RPCLatency is the per-operation request/response overhead (protocol
+	// stack, interrupt handling, NFS server dispatch) — paid once per
+	// op-level I/O in addition to pipe propagation latency.
+	RPCLatency sim.Duration
+}
+
+// Latency returns the one-way propagation latency along the path's pipes.
+func (pa Path) Latency() sim.Duration { return sim.PathLatency(pa.Pipes) }
+
+// MinCapacity returns the smallest capacity along the path — the best rate
+// any single stream could hope for.
+func (pa Path) MinCapacity() float64 {
+	mc := 0.0
+	for _, p := range pa.Pipes {
+		if mc == 0 || p.Capacity() < mc {
+			mc = p.Capacity()
+		}
+	}
+	return mc
+}
+
+// Transport resolves the network path between a client interface and the
+// storage service for a given direction. Implementations capture the
+// deployment differences of Section IV-B.
+type Transport interface {
+	// Path returns the pipes and limits for a stream from the client iface
+	// in the given direction. serverSide is the pipes inside the storage
+	// system (its NIC bank and beyond) in the same direction.
+	Path(client *Iface, dir Direction, serverSide []*sim.Pipe) Path
+	// Name identifies the transport in reports.
+	Name() string
+	// Derate scales the transport's own links (gateways, rails) by f — the
+	// experiment harness's handle for modeling shared-system contention in
+	// repeated runs.
+	Derate(f float64)
+}
+
+// TCPTransport models NFS over a TCP connection (or a few) traversing a
+// gateway bank: each client node is pinned to one gateway link, and a
+// single stream cannot exceed the per-connection throughput no matter how
+// fat the pipes are — the deployment used for VAST on Lassen, Ruby and
+// Quartz.
+type TCPTransport struct {
+	// Gateways is the bank of gateway links between the compute fabric and
+	// the storage network; nil means a direct connection.
+	Gateways *LinkBank
+	// PerConnBW is the sustainable throughput of one TCP connection
+	// (kernel NFS client, single mount ≈ 1.1 GB/s on 100GbE).
+	PerConnBW float64
+	// Connections is the nconnect count (1 for the LC deployments).
+	Connections int
+	// RPC is the per-op request latency of NFS/TCP.
+	RPC sim.Duration
+
+	// pinned remembers which gateway each client iface was assigned;
+	// conns holds each mount's connection pipe.
+	pinned map[*Iface]*Duplex
+	conns  map[*Iface]*Duplex
+}
+
+// Name implements Transport.
+func (t *TCPTransport) Name() string { return "nfs/tcp" }
+
+// Derate implements Transport.
+func (t *TCPTransport) Derate(f float64) {
+	if t.Gateways != nil {
+		t.Gateways.Derate(f)
+	}
+}
+
+// Path implements Transport.
+func (t *TCPTransport) Path(client *Iface, dir Direction, serverSide []*sim.Pipe) Path {
+	pipes := []*sim.Pipe{client.Dir(dir), t.connPipe(client).Dir(dir)}
+	if t.Gateways != nil {
+		if t.pinned == nil {
+			t.pinned = map[*Iface]*Duplex{}
+		}
+		gw, ok := t.pinned[client]
+		if !ok {
+			gw = t.Gateways.Pick()
+			t.pinned[client] = gw
+		}
+		pipes = append(pipes, gw.Dir(dir))
+	}
+	pipes = append(pipes, serverSide...)
+	return Path{Pipes: pipes, RPCLatency: t.RPC}
+}
+
+// connPipe lazily creates the mount's shared connection pipe: one NFS/TCP
+// mount per node, capacity = per-connection throughput × nconnect.
+func (t *TCPTransport) connPipe(client *Iface) *Duplex {
+	if t.conns == nil {
+		t.conns = map[*Iface]*Duplex{}
+	}
+	d, ok := t.conns[client]
+	if !ok {
+		conns := t.Connections
+		if conns <= 0 {
+			conns = 1
+		}
+		d = NewDuplex(client.Up.Fabric(), client.Name()+"/nfs-tcp-conn", t.PerConnBW*float64(conns), 0)
+		t.conns[client] = d
+	}
+	return d
+}
+
+// RDMATransport models NFS over RDMA with nconnect and multipathing — the
+// Wombat deployment. Multipathing stripes a stream across all rails of the
+// path bank, and nconnect removes the single-connection ceiling (up to
+// Connections × PerConnBW, which is far above any link here).
+type RDMATransport struct {
+	// Rails is the bank of links between clients and CNodes; with
+	// multipathing a stream uses all of them.
+	Rails *LinkBank
+	// PerConnBW is the throughput one RDMA connection can carry.
+	PerConnBW float64
+	// Connections is the nconnect count (16 on Wombat).
+	Connections int
+	// Multipath enables striping across all rails; when false the client is
+	// pinned to one rail like TCP.
+	Multipath bool
+	// RPC is the per-op latency (RDMA bypasses the kernel stack: small).
+	RPC sim.Duration
+
+	pinned map[*Iface]*Duplex
+	conns  map[*Iface]*Duplex
+}
+
+// Name implements Transport.
+func (t *RDMATransport) Name() string { return "nfs/rdma" }
+
+// Derate implements Transport.
+func (t *RDMATransport) Derate(f float64) {
+	if t.Rails != nil {
+		t.Rails.Derate(f)
+	}
+}
+
+// SetConnections changes the nconnect count before any mount resolves a
+// path (ablation sweeps). Changing it after connection pipes exist panics.
+func (t *RDMATransport) SetConnections(n int) {
+	if len(t.conns) > 0 {
+		panic("netsim: SetConnections after mounts resolved paths")
+	}
+	t.Connections = n
+}
+
+// Path implements Transport.
+func (t *RDMATransport) Path(client *Iface, dir Direction, serverSide []*sim.Pipe) Path {
+	pipes := []*sim.Pipe{client.Dir(dir), t.connPipe(client).Dir(dir)}
+	if t.Rails != nil {
+		if t.Multipath {
+			// Striping over n rails behaves like one fat pipe for fair
+			// sharing purposes; model it as the virtual aggregate pipe.
+			pipes = append(pipes, t.Rails.aggregate(dir))
+		} else {
+			if t.pinned == nil {
+				t.pinned = map[*Iface]*Duplex{}
+			}
+			rail, ok := t.pinned[client]
+			if !ok {
+				rail = t.Rails.Pick()
+				t.pinned[client] = rail
+			}
+			pipes = append(pipes, rail.Dir(dir))
+		}
+	}
+	pipes = append(pipes, serverSide...)
+	return Path{Pipes: pipes, RPCLatency: t.RPC}
+}
+
+// connPipe lazily creates the mount's connection-pool pipe: with
+// nconnect=16 the ceiling is 16 parallel RDMA connections, far above what
+// one TCP connection allows.
+func (t *RDMATransport) connPipe(client *Iface) *Duplex {
+	if t.conns == nil {
+		t.conns = map[*Iface]*Duplex{}
+	}
+	d, ok := t.conns[client]
+	if !ok {
+		conns := t.Connections
+		if conns <= 0 {
+			conns = 1
+		}
+		d = NewDuplex(client.Up.Fabric(), client.Name()+"/nfs-rdma-conn", t.PerConnBW*float64(conns), 0)
+		t.conns[client] = d
+	}
+	return d
+}
+
+// BlockingStreamCap returns the sustainable rate of a stream issued as
+// blocking, back-to-back requests of ioSize bytes over a path with the
+// given round-trip time: ioSize / (rtt + ioSize/serviceBW). Sequential
+// streams escape this ceiling through readahead/pipelining; random streams
+// (no prefetch possible) are bound by it — one reason random reads over a
+// network file system trail sequential ones even on seek-free media.
+func BlockingStreamCap(ioSize int64, rtt sim.Duration, serviceBW float64) float64 {
+	if ioSize <= 0 || serviceBW <= 0 {
+		return serviceBW
+	}
+	t := rtt.Seconds() + float64(ioSize)/serviceBW
+	if t <= 0 {
+		return serviceBW
+	}
+	return float64(ioSize) / t
+}
+
+// aggregate lazily creates a virtual pipe whose capacity equals the bank's
+// aggregate, used to model multipath striping.
+func (b *LinkBank) aggregate(dir Direction) *sim.Pipe {
+	if dir == ClientToServer {
+		if b.aggUp == nil {
+			b.aggUp = b.links[0].Up.Fabric().NewPipe(b.name+"/agg-up", b.AggregateCapacity(), b.links[0].Up.Latency())
+		}
+		return b.aggUp
+	}
+	if b.aggDown == nil {
+		b.aggDown = b.links[0].Down.Fabric().NewPipe(b.name+"/agg-down", b.AggregateCapacity(), b.links[0].Down.Latency())
+	}
+	return b.aggDown
+}

@@ -1,0 +1,92 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"storagesim/internal/sim"
+)
+
+func TestTCPDerateShrinksGateways(t *testing.T) {
+	e := sim.NewEnv()
+	fab := sim.NewFabric(e)
+	gw := NewLinkBank(fab, "gw", 2, 10e9, 0)
+	tr := &TCPTransport{Gateways: gw, PerConnBW: 1e9, Connections: 1}
+	tr.Derate(0.5)
+	if got := gw.AggregateCapacity(); got != 10e9 {
+		t.Fatalf("derated aggregate = %v, want 10e9", got)
+	}
+}
+
+func TestRDMADerateShrinksRails(t *testing.T) {
+	e := sim.NewEnv()
+	fab := sim.NewFabric(e)
+	rails := NewLinkBank(fab, "r", 4, 5e9, 0)
+	tr := &RDMATransport{Rails: rails, PerConnBW: 1e9, Connections: 4, Multipath: true}
+	// force aggregate creation first (the multipath path)
+	nic := NewIface(fab, "n", 25e9, 0)
+	_ = tr.Path(nic, ClientToServer, nil)
+	tr.Derate(0.5)
+	if got := rails.aggregate(ClientToServer).Capacity(); got != 10e9 {
+		t.Fatalf("derated multipath aggregate = %v, want 10e9", got)
+	}
+}
+
+func TestSetConnectionsBeforeMounts(t *testing.T) {
+	e := sim.NewEnv()
+	fab := sim.NewFabric(e)
+	tr := &RDMATransport{PerConnBW: 1e9, Connections: 16}
+	tr.SetConnections(4)
+	nic := NewIface(fab, "n", 25e9, 0)
+	path := tr.Path(nic, ClientToServer, nil)
+	// conn pipe is Pipes[1]; capacity = 4 x 1e9.
+	if got := path.Pipes[1].Capacity(); got != 4e9 {
+		t.Fatalf("conn pool = %v, want 4e9", got)
+	}
+}
+
+func TestSetConnectionsAfterMountsPanics(t *testing.T) {
+	e := sim.NewEnv()
+	fab := sim.NewFabric(e)
+	tr := &RDMATransport{PerConnBW: 1e9, Connections: 16}
+	nic := NewIface(fab, "n", 25e9, 0)
+	_ = tr.Path(nic, ClientToServer, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("late SetConnections did not panic")
+		}
+	}()
+	tr.SetConnections(4)
+}
+
+func TestTransportNames(t *testing.T) {
+	if (&TCPTransport{}).Name() != "nfs/tcp" || (&RDMATransport{}).Name() != "nfs/rdma" {
+		t.Fatal("transport names changed")
+	}
+}
+
+func TestBlockingStreamCap(t *testing.T) {
+	// 1 MiB ops over 1ms RTT at 1 GB/s service: 1MiB/(1ms+1.048ms) ≈ 512 MB/s.
+	got := BlockingStreamCap(1<<20, time.Millisecond, 1e9)
+	want := float64(1<<20) / (0.001 + float64(1<<20)/1e9)
+	if got != want {
+		t.Fatalf("cap = %v, want %v", got, want)
+	}
+	if BlockingStreamCap(0, time.Millisecond, 1e9) != 1e9 {
+		t.Fatal("zero io size must pass service bw through")
+	}
+	if BlockingStreamCap(1<<20, 0, 1e9) >= 1e9+1 {
+		t.Fatal("zero rtt must not exceed service bw")
+	}
+}
+
+func TestMinCapacity(t *testing.T) {
+	e := sim.NewEnv()
+	fab := sim.NewFabric(e)
+	p1 := fab.NewPipe("a", 5e9, 0)
+	p2 := fab.NewPipe("b", 2e9, 0)
+	pa := Path{Pipes: []*sim.Pipe{p1, p2}}
+	if pa.MinCapacity() != 2e9 {
+		t.Fatalf("min capacity = %v", pa.MinCapacity())
+	}
+}

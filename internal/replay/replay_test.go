@@ -1,0 +1,181 @@
+package replay
+
+import (
+	"testing"
+	"time"
+
+	"storagesim/internal/cluster"
+	"storagesim/internal/fsapi"
+	"storagesim/internal/sim"
+	"storagesim/internal/trace"
+)
+
+func ms(x int64) sim.Time { return sim.Time(x * int64(time.Millisecond)) }
+
+// syntheticTrace builds a 2-rank trace: per rank, alternating 100MB reads
+// and 50ms computes where each compute depends on the preceding read.
+func syntheticTrace() []trace.Span {
+	var spans []trace.Span
+	for rank := 0; rank < 2; rank++ {
+		t := int64(0)
+		for step := 0; step < 4; step++ {
+			spans = append(spans, trace.Span{
+				Rank: rank, Kind: trace.Read,
+				Start: ms(t), End: ms(t + 20), Bytes: 100e6,
+			})
+			spans = append(spans, trace.Span{
+				Rank: rank, Kind: trace.Compute,
+				Start: ms(t + 20), End: ms(t + 70),
+			})
+			t += 70
+		}
+	}
+	return spans
+}
+
+// fixedClient serves streams at a fixed bandwidth.
+type fixedClient struct {
+	ns   *fsapi.Namespace
+	fab  *sim.Fabric
+	pipe *sim.Pipe
+}
+
+func newFixed(env *sim.Env, bw float64) *fixedClient {
+	fab := sim.NewFabric(env)
+	return &fixedClient{ns: fsapi.NewNamespace(), fab: fab, pipe: fab.NewPipe("p", bw, 0)}
+}
+
+func (c *fixedClient) FSName() string                  { return "fixed" }
+func (c *fixedClient) NodeName() string                { return "n0" }
+func (c *fixedClient) DropCaches()                     {}
+func (c *fixedClient) Remove(p *sim.Proc, path string) { c.ns.Remove(path) }
+func (c *fixedClient) Open(p *sim.Proc, path string, truncate bool) fsapi.File {
+	panic("replay uses streams only")
+}
+func (c *fixedClient) StreamWrite(p *sim.Proc, path string, a fsapi.Access, ioSize, total int64) {
+	ino := c.ns.Create(path, false)
+	c.ns.Extend(ino, 0, total)
+	c.fab.Transfer(p, []*sim.Pipe{c.pipe}, float64(total), 0)
+}
+func (c *fixedClient) StreamRead(p *sim.Proc, path string, a fsapi.Access, ioSize, total int64) {
+	c.fab.Transfer(p, []*sim.Pipe{c.pipe}, float64(total), 0)
+}
+
+func runReplay(t *testing.T, bw float64) Result {
+	t.Helper()
+	env := sim.NewEnv()
+	cl := newFixed(env, bw)
+	rec := trace.NewRecorder()
+	res, err := Run(env, []fsapi.Client{cl}, syntheticTrace(), Config{}, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestReplayErrors(t *testing.T) {
+	env := sim.NewEnv()
+	if _, err := Run(env, nil, syntheticTrace(), Config{}, trace.NewRecorder()); err == nil {
+		t.Fatal("no mounts accepted")
+	}
+	cl := newFixed(env, 1e9)
+	if _, err := Run(env, []fsapi.Client{cl}, nil, Config{}, trace.NewRecorder()); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}
+
+func TestFastTargetHidesIO(t *testing.T) {
+	// 100MB reads at 100 GB/s take 1ms against 50ms computes: runtime
+	// approaches pure compute (4 x 50ms + first read) per rank.
+	res := runReplay(t, 100e9)
+	if res.Runtime > 250*time.Millisecond {
+		t.Fatalf("fast target runtime %v, want ~200ms of compute", res.Runtime)
+	}
+	if res.Analysis.HiddenFraction() < 0.5 {
+		t.Fatalf("fast target hid only %.0f%% of I/O", 100*res.Analysis.HiddenFraction())
+	}
+}
+
+func TestSlowTargetStalls(t *testing.T) {
+	// 100MB reads at 500 MB/s take 200ms each: the computes stall on their
+	// inputs and runtime inflates well beyond the original 280ms.
+	res := runReplay(t, 0.5e9)
+	if res.Runtime < 500*time.Millisecond {
+		t.Fatalf("slow target runtime %v, want >500ms", res.Runtime)
+	}
+	if res.Speedup >= 1 {
+		t.Fatalf("slow target reported speedup %.2f", res.Speedup)
+	}
+}
+
+func TestSpeedupOrdering(t *testing.T) {
+	fast, slow := runReplay(t, 100e9), runReplay(t, 0.5e9)
+	if fast.Speedup <= slow.Speedup {
+		t.Fatalf("speedups not ordered: fast %.2f, slow %.2f", fast.Speedup, slow.Speedup)
+	}
+	if fast.OriginalRuntime != slow.OriginalRuntime {
+		t.Fatal("original runtime must not depend on the target")
+	}
+}
+
+func TestDependencyBarrier(t *testing.T) {
+	// A compute whose input read is slow must not start early: with one
+	// read (200ms on the slow target) feeding one compute, the compute's
+	// recorded start must be after the read completes.
+	env := sim.NewEnv()
+	cl := newFixed(env, 0.5e9) // 100MB -> 200ms
+	rec := trace.NewRecorder()
+	spans := []trace.Span{
+		{Rank: 0, Kind: trace.Read, Start: ms(0), End: ms(10), Bytes: 100e6},
+		{Rank: 0, Kind: trace.Compute, Start: ms(10), End: ms(60)},
+	}
+	if _, err := Run(env, []fsapi.Client{cl}, spans, Config{}, rec); err != nil {
+		t.Fatal(err)
+	}
+	var readEnd, computeStart sim.Time
+	for _, s := range rec.Spans() {
+		switch s.Kind {
+		case trace.Read:
+			readEnd = s.End
+		case trace.Compute:
+			computeStart = s.Start
+		}
+	}
+	if computeStart < readEnd {
+		t.Fatalf("compute started at %v before its input finished at %v", computeStart, readEnd)
+	}
+}
+
+func TestReplayOnRealDeployments(t *testing.T) {
+	// End to end: the same trace projected onto GPFS must beat the VAST
+	// TCP deployment (more read bandwidth per node).
+	project := func(fs string) Result {
+		env := sim.NewEnv()
+		fab := sim.NewFabric(env)
+		cl := cluster.MustNew(env, fab, cluster.LassenSpec(), 1)
+		var m fsapi.Client
+		if fs == "gpfs" {
+			m = cluster.GPFSOnLassen(cl).Mount(cl.Node(0).Name, cl.Node(0).NIC)
+		} else {
+			m = cluster.VASTOnLassen(cl).Mount(cl.Node(0).Name, cl.Node(0).NIC)
+		}
+		rec := trace.NewRecorder()
+		// heavier reads so the deployments separate
+		var spans []trace.Span
+		for step := int64(0); step < 4; step++ {
+			spans = append(spans,
+				trace.Span{Rank: 0, Kind: trace.Read, Start: ms(step * 100), End: ms(step*100 + 50), Bytes: 2e9},
+				trace.Span{Rank: 0, Kind: trace.Compute, Start: ms(step*100 + 50), End: ms(step*100 + 100)},
+			)
+		}
+		res, err := Run(env, []fsapi.Client{m}, spans, Config{}, rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	gpfs, vast := project("gpfs"), project("vast")
+	if gpfs.Runtime >= vast.Runtime {
+		t.Fatalf("GPFS replay (%v) not faster than VAST/TCP (%v)", gpfs.Runtime, vast.Runtime)
+	}
+}

@@ -1,0 +1,92 @@
+package sim
+
+import "sort"
+
+// Utilization accounting: when enabled on a fabric, every pipe integrates
+// its allocated bandwidth over virtual time, so after a run the harness can
+// rank pipes by utilization and name the bottleneck — the simulator's
+// answer to the paper's recurring question of *where* bandwidth is lost
+// (gateway link? connection cap? reduction engine? spinning pool?).
+//
+// The integrals piggyback on the solver's advance step: no extra events,
+// exact between solves. Accounting is opt-in because it costs O(pipes) per
+// fabric advance.
+
+// EnableAccounting turns on utilization integration for all pipes.
+func (f *Fabric) EnableAccounting() { f.accounting = true }
+
+// Pipes returns every pipe registered on the fabric, in creation order.
+func (f *Fabric) Pipes() []*Pipe { return f.pipes }
+
+// AllocatedRate returns the bandwidth currently granted to flows crossing
+// the pipe (bytes/sec), as of the last solve.
+func (p *Pipe) AllocatedRate() float64 { return p.allocated }
+
+// Utilization returns the pipe's time-averaged allocated fraction of
+// capacity (0 when accounting is off or no time has passed). Pipes created
+// lazily mid-run (per-pattern device service pipes, per-mount connection
+// pipes) integrate from their creation, so a short-lived pipe that ran
+// flat out reports high utilization even if it never constrained the
+// workload — read the report together with each pipe's capacity.
+func (p *Pipe) Utilization() float64 {
+	if p.capIntegral <= 0 {
+		return 0
+	}
+	return p.busyIntegral / p.capIntegral
+}
+
+// BytesMoved returns the total bytes the pipe carried (accounting only).
+func (p *Pipe) BytesMoved() float64 { return p.busyIntegral }
+
+// PipeUtil is one row of a utilization report.
+type PipeUtil struct {
+	Name        string
+	Utilization float64
+	Capacity    float64
+	Bytes       float64
+}
+
+// TopUtilized returns the n busiest pipes by time-averaged utilization,
+// breaking ties by bytes moved and then name (deterministic).
+func (f *Fabric) TopUtilized(n int) []PipeUtil {
+	out := make([]PipeUtil, 0, len(f.pipes))
+	for _, p := range f.pipes {
+		u := p.Utilization()
+		if u <= 0 {
+			continue
+		}
+		out = append(out, PipeUtil{Name: p.name, Utilization: u, Capacity: p.capacity, Bytes: p.busyIntegral})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Utilization != out[b].Utilization {
+			return out[a].Utilization > out[b].Utilization
+		}
+		if out[a].Bytes != out[b].Bytes {
+			return out[a].Bytes > out[b].Bytes
+		}
+		return out[a].Name < out[b].Name
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// accrue integrates the pipe's allocation over dt seconds.
+func (p *Pipe) accrue(dt float64) {
+	p.busyIntegral += p.allocated * dt
+	p.capIntegral += p.capacity * dt
+}
+
+// recomputeAllocations refreshes every pipe's allocated rate after a
+// solve. O(flow-pipe incidences).
+func (f *Fabric) recomputeAllocations() {
+	for _, p := range f.pipes {
+		p.allocated = 0
+	}
+	for _, fl := range f.flows {
+		for _, p := range fl.pipes {
+			p.allocated += fl.rate
+		}
+	}
+}

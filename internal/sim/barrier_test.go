@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestBarrierReleasesTogether(t *testing.T) {
+	e := NewEnv()
+	b := NewBarrier(e, "b", 4)
+	var releases []Time
+	for i := 0; i < 4; i++ {
+		i := i
+		e.Go(fmt.Sprintf("p%d", i), func(p *Proc) {
+			p.Sleep(Duration(i*10) * time.Millisecond) // staggered arrivals
+			b.Wait(p)
+			releases = append(releases, p.Now())
+		})
+	}
+	e.Run()
+	if len(releases) != 4 {
+		t.Fatalf("releases = %d", len(releases))
+	}
+	for _, r := range releases {
+		if r != Time(30*time.Millisecond) {
+			t.Fatalf("release at %v, want all at 30ms (last arrival)", Duration(r))
+		}
+	}
+}
+
+func TestBarrierReusableAcrossRounds(t *testing.T) {
+	e := NewEnv()
+	b := NewBarrier(e, "b", 2)
+	var log []string
+	for i := 0; i < 2; i++ {
+		i := i
+		e.Go(fmt.Sprintf("p%d", i), func(p *Proc) {
+			for round := 0; round < 3; round++ {
+				p.Sleep(Duration(i+1) * time.Millisecond)
+				b.Wait(p)
+				log = append(log, fmt.Sprintf("p%d:r%d@%v", i, round, p.Now()))
+			}
+		})
+	}
+	e.Run()
+	if len(log) != 6 {
+		t.Fatalf("log = %v", log)
+	}
+	// Rounds must not interleave: both parties finish round r before
+	// either passes round r+1.
+	for round := 0; round < 3; round++ {
+		a, bb := log[2*round], log[2*round+1]
+		if a[4] != byte('0'+round) || bb[4] != byte('0'+round) {
+			t.Fatalf("rounds interleaved: %v", log)
+		}
+	}
+}
+
+func TestBarrierSingleParty(t *testing.T) {
+	e := NewEnv()
+	b := NewBarrier(e, "b", 1)
+	passed := 0
+	e.Go("solo", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			b.Wait(p) // never blocks
+			passed++
+		}
+	})
+	e.Run()
+	if passed != 5 {
+		t.Fatalf("passed = %d", passed)
+	}
+}
+
+func TestBarrierLateArrivalJoinsNextRound(t *testing.T) {
+	// Two fast parties and one slow one in a 2-party barrier: the fast
+	// pair forms round 1; the slow process plus one fast process form
+	// round 2.
+	e := NewEnv()
+	b := NewBarrier(e, "b", 2)
+	var order []string
+	e.Go("fast1", func(p *Proc) {
+		b.Wait(p)
+		order = append(order, fmt.Sprintf("fast1@%v", p.Now()))
+		b.Wait(p) // joins round 2 with slow
+		order = append(order, fmt.Sprintf("fast1b@%v", p.Now()))
+	})
+	e.Go("fast2", func(p *Proc) {
+		b.Wait(p)
+		order = append(order, fmt.Sprintf("fast2@%v", p.Now()))
+	})
+	e.Go("slow", func(p *Proc) {
+		p.Sleep(time.Second)
+		b.Wait(p)
+		order = append(order, fmt.Sprintf("slow@%v", p.Now()))
+	})
+	e.Run()
+	if len(order) != 4 {
+		t.Fatalf("order = %v", order)
+	}
+}

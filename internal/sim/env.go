@@ -1,0 +1,143 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Env is a simulation environment: the virtual clock, the event calendar and
+// the process scheduler. An Env is not safe for use from multiple OS-level
+// goroutines except through the process primitives it hands out; the
+// scheduler itself guarantees that only one simulated process runs at a time.
+type Env struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+
+	// baton is the scheduler hand-off channel: a running process sends on
+	// baton when it parks or terminates, returning control to Run.
+	baton chan struct{}
+
+	running bool
+	procs   int // live (started, not yet finished) processes
+	blocked map[*Proc]string
+}
+
+// NewEnv returns an environment with the clock at zero.
+func NewEnv() *Env {
+	return &Env{
+		baton:   make(chan struct{}),
+		blocked: map[*Proc]string{},
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() Time { return e.now }
+
+// Schedule runs fn at time `at`. It returns a handle that can cancel the
+// event before it fires. Scheduling in the past panics: that is always a
+// model bug.
+func (e *Env) Schedule(at Time, fn func()) *EventHandle {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	e.seq++
+	ev := &timedEvent{at: at, seq: e.seq, fn: fn}
+	e.events.push(ev)
+	return &EventHandle{ev: ev}
+}
+
+// After runs fn after duration d.
+func (e *Env) After(d Duration, fn func()) *EventHandle {
+	return e.Schedule(e.now.Add(d), fn)
+}
+
+// EventHandle allows cancelling a scheduled event.
+type EventHandle struct{ ev *timedEvent }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (h *EventHandle) Cancel() {
+	if h != nil && h.ev != nil {
+		h.ev.canceled = true
+	}
+}
+
+// Go starts a new simulated process running fn. The process begins executing
+// at the current virtual time, after the caller parks or (when called from
+// outside the simulation) when Run is invoked.
+func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		env:    e,
+		name:   name,
+		resume: make(chan struct{}),
+		Done:   NewEvent(e),
+	}
+	e.procs++
+	e.Schedule(e.now, func() {
+		go func() {
+			fn(p)
+			p.finished = true
+			e.procs--
+			p.Done.Fire()
+			e.baton <- struct{}{}
+		}()
+		<-e.baton // wait until the new process parks or finishes
+	})
+	return p
+}
+
+// Run executes events until the calendar is empty, then returns the final
+// virtual time. If the calendar drains while processes are still blocked on
+// non-timer waits (a lost signal, a full queue nobody drains, ...) Run
+// panics with a deadlock report naming the stuck processes: in a correct
+// model every blocked process is eventually woken by a scheduled event.
+func (e *Env) Run() Time {
+	e.running = true
+	defer func() { e.running = false }()
+	for e.events.len() > 0 {
+		ev := e.events.pop()
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		ev.fn()
+	}
+	if len(e.blocked) > 0 {
+		names := make([]string, 0, len(e.blocked))
+		for p, why := range e.blocked {
+			names = append(names, fmt.Sprintf("%s (%s)", p.name, why))
+		}
+		sort.Strings(names)
+		panic(fmt.Sprintf("sim: deadlock at %v: %d process(es) blocked with no pending events: %v",
+			e.now, len(names), names))
+	}
+	return e.now
+}
+
+// RunUntil executes events with timestamps <= deadline and advances the
+// clock to exactly the deadline. Events beyond the deadline stay queued.
+func (e *Env) RunUntil(deadline Time) Time {
+	e.running = true
+	defer func() { e.running = false }()
+	for e.events.len() > 0 && e.events.peek().at <= deadline {
+		ev := e.events.pop()
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		ev.fn()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// resumeProc wakes a parked process and waits until it parks again or
+// terminates. This is the scheduler half of the baton protocol; Proc.park is
+// the process half.
+func (e *Env) resumeProc(p *Proc) {
+	p.resume <- struct{}{}
+	<-e.baton
+}

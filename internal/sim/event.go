@@ -1,0 +1,81 @@
+package sim
+
+// timedEvent is an entry in the event calendar: a closure to run at a given
+// virtual time. Events scheduled for the same time run in scheduling order
+// (seq), which makes the calendar a total order and the simulation
+// deterministic.
+type timedEvent struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	canceled bool
+}
+
+// eventHeap is a binary min-heap ordered by (at, seq). It implements the
+// subset of container/heap we need, specialized to avoid interface
+// allocations on the hot path.
+type eventHeap struct {
+	items []*timedEvent
+}
+
+func (h *eventHeap) len() int { return len(h.items) }
+
+func (h *eventHeap) less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (h *eventHeap) swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+
+func (h *eventHeap) push(ev *timedEvent) {
+	h.items = append(h.items, ev)
+	h.up(len(h.items) - 1)
+}
+
+func (h *eventHeap) pop() *timedEvent {
+	n := len(h.items) - 1
+	h.swap(0, n)
+	ev := h.items[n]
+	h.items[n] = nil
+	h.items = h.items[:n]
+	if n > 0 {
+		h.down(0)
+	}
+	return ev
+}
+
+// peek returns the earliest event without removing it.
+func (h *eventHeap) peek() *timedEvent { return h.items[0] }
+
+func (h *eventHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *eventHeap) down(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}

@@ -1,0 +1,352 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Fabric is a system of bandwidth Pipes with a global max–min fair-share
+// solver. Every data movement in the simulator — a client NIC, a gateway
+// Ethernet link, an NVMe-oF fabric, a flash channel — is a Pipe, and a
+// transfer is a Flow that traverses one or more Pipes. Whenever the set of
+// active flows changes, the fabric recomputes the exact max–min fair
+// allocation (progressive filling / water-filling), so saturation points,
+// contention effects and crossovers emerge from the topology instead of
+// being scripted.
+//
+// The solver is exact: it repeatedly finds the most-constrained pipe (or
+// per-flow rate cap), freezes the flows it constrains at their fair share,
+// removes that capacity, and continues until all flows have a rate.
+type Fabric struct {
+	env   *Env
+	pipes []*Pipe
+	// flows is kept in start order so that completion events fire in a
+	// deterministic order (map iteration order would leak randomness into
+	// the schedule).
+	flows []*Flow
+
+	lastAdvance  Time
+	solvePending bool
+	timer        *EventHandle
+
+	// accounting enables per-pipe utilization integration (accounting.go).
+	accounting bool
+}
+
+// NewFabric returns an empty fabric bound to env.
+func NewFabric(env *Env) *Fabric {
+	return &Fabric{env: env}
+}
+
+// Pipe is a shared bandwidth resource inside a Fabric.
+type Pipe struct {
+	fabric   *Fabric
+	name     string
+	capacity float64 // bytes per second
+	latency  Duration
+
+	active map[*Flow]struct{}
+
+	// scratch fields used by the solver
+	remCap   float64
+	unfrozen int
+
+	// utilization accounting (see accounting.go)
+	allocated    float64
+	busyIntegral float64
+	capIntegral  float64
+}
+
+// NewPipe adds a pipe with the given capacity in bytes/second and one-way
+// propagation latency. Capacity must be positive.
+func (f *Fabric) NewPipe(name string, bytesPerSec float64, latency Duration) *Pipe {
+	if bytesPerSec <= 0 {
+		panic("sim: pipe capacity must be positive: " + name)
+	}
+	p := &Pipe{
+		fabric:   f,
+		name:     name,
+		capacity: bytesPerSec,
+		latency:  latency,
+		active:   map[*Flow]struct{}{},
+	}
+	f.pipes = append(f.pipes, p)
+	return p
+}
+
+// Name returns the pipe name.
+func (p *Pipe) Name() string { return p.name }
+
+// Fabric returns the fabric the pipe belongs to.
+func (p *Pipe) Fabric() *Fabric { return p.fabric }
+
+// Capacity returns the pipe capacity in bytes/second.
+func (p *Pipe) Capacity() float64 { return p.capacity }
+
+// Latency returns the pipe's one-way propagation latency.
+func (p *Pipe) Latency() Duration { return p.latency }
+
+// SetCapacity changes the pipe capacity and reallocates all flows. Used by
+// noise injectors and ablation sweeps.
+func (p *Pipe) SetCapacity(bytesPerSec float64) {
+	if bytesPerSec <= 0 {
+		panic("sim: pipe capacity must be positive: " + p.name)
+	}
+	p.fabric.advance()
+	p.capacity = bytesPerSec
+	p.fabric.markDirty()
+}
+
+// ActiveFlows returns the number of flows currently crossing the pipe.
+func (p *Pipe) ActiveFlows() int { return len(p.active) }
+
+// Flow is an in-progress transfer across a set of pipes.
+type Flow struct {
+	pipes     []*Pipe
+	remaining float64 // bytes left
+	rateCap   float64 // per-flow ceiling (e.g. one TCP connection); 0 = none
+	rate      float64 // current allocated rate, bytes/sec
+	done      *Event
+	frozen    bool // solver scratch
+}
+
+// Rate returns the flow's currently allocated bandwidth in bytes/sec.
+func (fl *Flow) Rate() float64 { return fl.rate }
+
+// PathLatency returns the sum of one-way latencies along pipes.
+func PathLatency(pipes []*Pipe) Duration {
+	var d Duration
+	for _, p := range pipes {
+		d += p.latency
+	}
+	return d
+}
+
+// Transfer moves `bytes` across the given pipes as a single flow, blocking
+// the calling process until the last byte arrives. The flow receives its
+// max–min fair share of every pipe it crosses, further limited by rateCap
+// when non-zero. Propagation latency of the path is charged once, up front.
+//
+// Transfer is the flow-level primitive: it models a sustained stream (an
+// IOR rank writing its whole file, an NFS connection moving a block) rather
+// than individual packets.
+func (f *Fabric) Transfer(p *Proc, pipes []*Pipe, bytes float64, rateCap float64) {
+	if bytes <= 0 {
+		return
+	}
+	if lat := PathLatency(pipes); lat > 0 {
+		p.Sleep(lat)
+	}
+	fl := f.StartFlow(pipes, bytes, rateCap)
+	fl.done.Wait(p)
+}
+
+// StartFlow registers a flow without blocking; the returned flow's Done
+// event fires on completion. Most callers want Transfer.
+func (f *Fabric) StartFlow(pipes []*Pipe, bytes float64, rateCap float64) *Flow {
+	if len(pipes) == 0 {
+		panic("sim: flow must cross at least one pipe")
+	}
+	f.advance()
+	fl := &Flow{
+		pipes:     pipes,
+		remaining: bytes,
+		rateCap:   rateCap,
+		done:      NewEvent(f.env),
+	}
+	f.flows = append(f.flows, fl)
+	for _, pp := range pipes {
+		pp.active[fl] = struct{}{}
+	}
+	f.markDirty()
+	return fl
+}
+
+// Done exposes the completion event of a flow started with StartFlow.
+func (fl *Flow) Done() *Event { return fl.done }
+
+// advance accrues progress on every active flow at the rates computed by the
+// last solve. It must be called before any state change.
+func (f *Fabric) advance() {
+	dt := f.env.now.Sub(f.lastAdvance).Seconds()
+	f.lastAdvance = f.env.now
+	if dt <= 0 {
+		return
+	}
+	if f.accounting {
+		for _, p := range f.pipes {
+			p.accrue(dt)
+		}
+	}
+	for _, fl := range f.flows {
+		fl.remaining -= fl.rate * dt
+		// Absorb float rounding: at simulated rates of ~1e11 B/s the
+		// accumulated error is far below a byte, and no modeled transfer is
+		// smaller than a kilobyte.
+		if fl.remaining < 1e-3 {
+			fl.remaining = 0
+		}
+	}
+}
+
+// markDirty schedules a single solve at the current instant, coalescing any
+// number of same-instant membership changes into one solver run.
+func (f *Fabric) markDirty() {
+	if f.solvePending {
+		return
+	}
+	f.solvePending = true
+	f.env.Schedule(f.env.now, func() {
+		f.solvePending = false
+		f.advance()
+		f.reapFinished()
+		f.solve()
+		if f.accounting {
+			f.recomputeAllocations()
+		}
+		f.scheduleNextCompletion()
+	})
+}
+
+// reapFinished completes flows whose byte counts have reached zero, firing
+// their done events in flow-start order.
+func (f *Fabric) reapFinished() {
+	live := f.flows[:0]
+	var finished []*Flow
+	for _, fl := range f.flows {
+		if fl.remaining <= 0 {
+			finished = append(finished, fl)
+			for _, pp := range fl.pipes {
+				delete(pp.active, fl)
+			}
+		} else {
+			live = append(live, fl)
+		}
+	}
+	f.flows = live
+	for _, fl := range finished {
+		fl.done.Fire()
+	}
+}
+
+// solve computes the exact max–min fair allocation by progressive filling.
+func (f *Fabric) solve() {
+	if len(f.flows) == 0 {
+		return
+	}
+	for _, p := range f.pipes {
+		p.remCap = p.capacity
+		p.unfrozen = 0
+	}
+	unfrozenTotal := 0
+	for _, fl := range f.flows {
+		fl.frozen = false
+		fl.rate = 0
+		unfrozenTotal++
+		for _, p := range fl.pipes {
+			p.unfrozen++
+		}
+	}
+	for unfrozenTotal > 0 {
+		// The binding constraint is either the pipe with the smallest fair
+		// share among unfrozen flows, or an individual flow's rate cap below
+		// every pipe share on its path.
+		share := math.Inf(1)
+		for _, p := range f.pipes {
+			if p.unfrozen == 0 {
+				continue
+			}
+			if s := p.remCap / float64(p.unfrozen); s < share {
+				share = s
+			}
+		}
+		progressed := false
+		// First freeze flows whose own cap binds below the global minimum
+		// share: they cannot use their full fair allocation anywhere.
+		for _, fl := range f.flows {
+			if fl.frozen || fl.rateCap <= 0 || fl.rateCap > share {
+				continue
+			}
+			f.freeze(fl, fl.rateCap)
+			unfrozenTotal--
+			progressed = true
+		}
+		if progressed {
+			continue // shares changed; recompute
+		}
+		// Otherwise freeze all flows crossing a binding pipe at the share.
+		for _, p := range f.pipes {
+			if p.unfrozen == 0 {
+				continue
+			}
+			if p.remCap/float64(p.unfrozen) > share*(1+1e-12) {
+				continue
+			}
+			for fl := range p.active {
+				if fl.frozen {
+					continue
+				}
+				f.freeze(fl, share)
+				unfrozenTotal--
+				progressed = true
+			}
+		}
+		if !progressed {
+			panic("sim: fair-share solver failed to progress")
+		}
+	}
+}
+
+func (f *Fabric) freeze(fl *Flow, rate float64) {
+	fl.frozen = true
+	fl.rate = rate
+	for _, p := range fl.pipes {
+		p.remCap -= rate
+		if p.remCap < 0 {
+			p.remCap = 0
+		}
+		p.unfrozen--
+	}
+}
+
+// scheduleNextCompletion arms the fabric timer for the earliest flow finish
+// under the current allocation.
+func (f *Fabric) scheduleNextCompletion() {
+	f.timer.Cancel()
+	f.timer = nil
+	if len(f.flows) == 0 {
+		return
+	}
+	earliest := math.Inf(1)
+	for _, fl := range f.flows {
+		if fl.rate <= 0 {
+			panic(fmt.Sprintf("sim: flow allocated zero rate (pipes %v)", pipeNames(fl.pipes)))
+		}
+		if t := fl.remaining / fl.rate; t < earliest {
+			earliest = t
+		}
+	}
+	// Quantize upward to a whole nanosecond so completion never lands
+	// before the true finish instant.
+	ns := Time(math.Ceil(earliest * 1e9))
+	if ns < 0 {
+		ns = 0
+	}
+	f.timer = f.env.Schedule(f.env.now+ns, func() {
+		f.advance()
+		f.reapFinished()
+		f.solve()
+		if f.accounting {
+			f.recomputeAllocations()
+		}
+		f.scheduleNextCompletion()
+	})
+}
+
+func pipeNames(pipes []*Pipe) []string {
+	names := make([]string, len(pipes))
+	for i, p := range pipes {
+		names[i] = p.name
+	}
+	return names
+}

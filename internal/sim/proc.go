@@ -1,0 +1,152 @@
+package sim
+
+// Proc is a simulated process: a goroutine whose execution is interleaved
+// with all other processes by the Env scheduler so that exactly one runs at
+// a time. All blocking methods (Sleep, Wait, resource acquisition, ...) must
+// be called from the process's own goroutine.
+type Proc struct {
+	env      *Env
+	name     string
+	resume   chan struct{}
+	finished bool
+
+	// Done fires when the process function returns. Other processes can
+	// Wait on it to join this process.
+	Done *Event
+}
+
+// Env returns the environment the process runs in.
+func (p *Proc) Env() *Env { return p.env }
+
+// Name returns the process name (used in deadlock reports and traces).
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.env.now }
+
+// park hands control back to the scheduler and blocks until some event
+// resumes this process. why is recorded for deadlock diagnostics; processes
+// parked on timers pass "" and are not tracked (a timer always fires).
+func (p *Proc) park(why string) {
+	if why != "" {
+		p.env.blocked[p] = why
+	}
+	p.env.baton <- struct{}{}
+	<-p.resume
+	if why != "" {
+		delete(p.env.blocked, p)
+	}
+}
+
+// wake schedules this process to resume at the current virtual time.
+func (p *Proc) wake() {
+	p.env.Schedule(p.env.now, func() { p.env.resumeProc(p) })
+}
+
+// Sleep suspends the process for duration d of virtual time.
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		panic("sim: negative sleep")
+	}
+	if d == 0 {
+		return
+	}
+	p.env.After(d, func() { p.env.resumeProc(p) })
+	p.park("")
+}
+
+// SleepUntil suspends the process until virtual time t (no-op if t is now or
+// in the past).
+func (p *Proc) SleepUntil(t Time) {
+	if t <= p.env.now {
+		return
+	}
+	p.env.Schedule(t, func() { p.env.resumeProc(p) })
+	p.park("")
+}
+
+// Yield lets every other event already scheduled for the current instant run
+// before this process continues.
+func (p *Proc) Yield() {
+	p.env.Schedule(p.env.now, func() { p.env.resumeProc(p) })
+	p.park("")
+}
+
+// Event is a one-shot broadcast signal. Processes Wait on it; Fire releases
+// all current and future waiters. The zero value is not usable; create with
+// NewEvent.
+type Event struct {
+	env     *Env
+	fired   bool
+	waiters []*Proc
+}
+
+// NewEvent returns an unfired event bound to env.
+func NewEvent(env *Env) *Event { return &Event{env: env} }
+
+// Fired reports whether the event has fired.
+func (ev *Event) Fired() bool { return ev.fired }
+
+// Fire triggers the event, waking all waiters. Firing twice is a no-op.
+func (ev *Event) Fire() {
+	if ev.fired {
+		return
+	}
+	ev.fired = true
+	for _, p := range ev.waiters {
+		p.wake()
+	}
+	ev.waiters = nil
+}
+
+// Wait blocks the calling process until the event fires. Returns immediately
+// if it already fired.
+func (ev *Event) Wait(p *Proc) {
+	if ev.fired {
+		return
+	}
+	ev.waiters = append(ev.waiters, p)
+	p.park("event")
+}
+
+// WaitGroup counts outstanding activities, like sync.WaitGroup but for
+// simulated processes.
+type WaitGroup struct {
+	env   *Env
+	count int
+	done  *Event
+}
+
+// NewWaitGroup returns a WaitGroup bound to env.
+func NewWaitGroup(env *Env) *WaitGroup {
+	return &WaitGroup{env: env, done: NewEvent(env)}
+}
+
+// Add increments the counter by n.
+func (wg *WaitGroup) Add(n int) { wg.count += n }
+
+// Go starts fn as a process and tracks it in the group.
+func (wg *WaitGroup) Go(name string, fn func(p *Proc)) {
+	wg.Add(1)
+	wg.env.Go(name, func(p *Proc) {
+		defer wg.doneOne()
+		fn(p)
+	})
+}
+
+func (wg *WaitGroup) doneOne() {
+	wg.count--
+	if wg.count == 0 {
+		wg.done.Fire()
+		wg.done = NewEvent(wg.env) // re-arm for reuse
+	}
+}
+
+// Wait blocks the calling process until the counter reaches zero. Returns
+// immediately if it is already zero.
+func (wg *WaitGroup) Wait(p *Proc) {
+	if wg.count == 0 {
+		return
+	}
+	wg.done.Wait(p)
+}

@@ -1,0 +1,50 @@
+// Package sim implements a deterministic discrete-event simulation kernel.
+//
+// The kernel follows the classic process-interaction style (SimPy, SIMULA):
+// simulated activities are ordinary Go functions running on goroutines, but
+// the scheduler guarantees that at most one process executes at any moment
+// and that processes resume in a total order defined by (virtual time,
+// scheduling sequence number). Together with seeded pseudo-randomness this
+// makes every simulation run bit-for-bit reproducible.
+//
+// The kernel provides three families of primitives:
+//
+//   - Processes and timers: Env.Go, Proc.Sleep, Event (one-shot signal).
+//   - Queueing resources: Resource (FIFO counting semaphore) and Queue
+//     (bounded producer/consumer buffer).
+//   - Bandwidth: Fabric and Pipe, a global max–min fair-share flow solver
+//     used to model network links, device channels and fabrics.
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation. Using an integer representation keeps event ordering exact.
+type Time int64
+
+// Duration is a span of virtual time. It aliases time.Duration so that the
+// familiar constants (time.Millisecond, ...) can be used directly.
+type Duration = time.Duration
+
+// Common durations re-exported for convenience in simulation code.
+const (
+	Nanosecond  = time.Nanosecond
+	Microsecond = time.Microsecond
+	Millisecond = time.Millisecond
+	Second      = time.Second
+)
+
+// Add returns the time d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds returns t expressed in seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// String formats the time as a duration since simulation start.
+func (t Time) String() string { return fmt.Sprintf("t=%s", Duration(t)) }

@@ -1,0 +1,162 @@
+// Package stats provides the summary statistics, deterministic
+// pseudo-random numbers and series utilities the experiment harness uses to
+// report results the way the paper does (mean of 10 repetitions with spread,
+// saturation-point detection on scaling curves).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary describes a sample of float64 observations.
+type Summary struct {
+	N      int
+	Mean   float64
+	Min    float64
+	Max    float64
+	Stddev float64 // sample standard deviation (n-1)
+}
+
+// Summarize computes a Summary of xs. An empty input yields a zero Summary.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if s.N == 0 {
+		return s
+	}
+	s.Min, s.Max = xs[0], xs[0]
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Stddev = math.Sqrt(ss / float64(s.N-1))
+	}
+	return s
+}
+
+// String renders "mean ± stddev [min, max] (n=N)".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.4g ± %.2g [%.4g, %.4g] (n=%d)", s.Mean, s.Stddev, s.Min, s.Max, s.N)
+}
+
+// RelSpread returns (max-min)/mean, the paper-style consistency measure for
+// repeated runs on a shared machine. Returns 0 for an empty or zero-mean
+// sample.
+func (s Summary) RelSpread() float64 {
+	if s.N == 0 || s.Mean == 0 {
+		return 0
+	}
+	return (s.Max - s.Min) / s.Mean
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation between closest ranks. It copies and sorts internally.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Point is one (x, y) observation of a scaling curve, e.g. (nodes, GB/s).
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Series is a named scaling curve with per-point error bars.
+type Series struct {
+	Name   string
+	Points []Point
+	Err    []float64 // optional, same length as Points: stddev at each X
+}
+
+// Append adds a point (and optional error) to the series.
+func (s *Series) Append(x, y, err float64) {
+	s.Points = append(s.Points, Point{X: x, Y: y})
+	s.Err = append(s.Err, err)
+}
+
+// YAt returns the Y value at the given X, or NaN when absent.
+func (s Series) YAt(x float64) float64 {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y
+		}
+	}
+	return math.NaN()
+}
+
+// MaxY returns the maximum Y and its X. Empty series returns NaNs.
+func (s Series) MaxY() (x, y float64) {
+	if len(s.Points) == 0 {
+		return math.NaN(), math.NaN()
+	}
+	x, y = s.Points[0].X, s.Points[0].Y
+	for _, p := range s.Points {
+		if p.Y > y {
+			x, y = p.X, p.Y
+		}
+	}
+	return x, y
+}
+
+// SaturationX finds the smallest X after which the curve stops growing by
+// more than frac (e.g. 0.10 for 10%) per step — the "saturation point" the
+// paper reads off its scalability figures. Returns the last X when the curve
+// never saturates.
+func (s Series) SaturationX(frac float64) float64 {
+	if len(s.Points) == 0 {
+		return math.NaN()
+	}
+	for i := 1; i < len(s.Points); i++ {
+		prev, cur := s.Points[i-1].Y, s.Points[i].Y
+		if prev <= 0 {
+			continue
+		}
+		if (cur-prev)/prev < frac {
+			return s.Points[i-1].X
+		}
+	}
+	return s.Points[len(s.Points)-1].X
+}
+
+// GrowthFactor returns Y(lastX)/Y(firstX), a scalability measure.
+func (s Series) GrowthFactor() float64 {
+	if len(s.Points) < 2 || s.Points[0].Y == 0 {
+		return math.NaN()
+	}
+	return s.Points[len(s.Points)-1].Y / s.Points[0].Y
+}

@@ -1,0 +1,194 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 || s.Min != 2 || s.Max != 9 {
+		t.Fatalf("summary = %+v", s)
+	}
+	// Sample stddev of this classic set is ~2.138.
+	if math.Abs(s.Stddev-2.1380899) > 1e-6 {
+		t.Fatalf("stddev = %v", s.Stddev)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 || s.Stddev != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	if s.RelSpread() != 0 {
+		t.Fatal("RelSpread of empty sample should be 0")
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{3.5})
+	if s.Mean != 3.5 || s.Min != 3.5 || s.Max != 3.5 || s.Stddev != 0 {
+		t.Fatalf("single summary = %+v", s)
+	}
+}
+
+func TestRelSpread(t *testing.T) {
+	s := Summarize([]float64{9, 10, 11})
+	if math.Abs(s.RelSpread()-0.2) > 1e-12 {
+		t.Fatalf("RelSpread = %v, want 0.2", s.RelSpread())
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {100, 10}, {50, 5.5}, {25, 3.25}, {90, 9.1},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("percentile of empty sample should be NaN")
+	}
+}
+
+// Property: mean is bounded by min and max, and stddev is non-negative.
+func TestSummaryInvariantProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				xs = append(xs, x)
+			}
+		}
+		s := Summarize(xs)
+		if s.N == 0 {
+			return true
+		}
+		return s.Min <= s.Mean+1e-6 && s.Mean <= s.Max+1e-6 && s.Stddev >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeriesSaturation(t *testing.T) {
+	s := Series{Name: "vast-tcp"}
+	// grows then flattens at x=32 (the paper's Fig 2a VAST shape).
+	for _, p := range []Point{{1, 1}, {2, 2}, {4, 4}, {8, 8}, {16, 16}, {32, 24}, {64, 25}, {128, 25}} {
+		s.Append(p.X, p.Y, 0)
+	}
+	if got := s.SaturationX(0.10); got != 32 {
+		t.Fatalf("saturation at %v, want 32", got)
+	}
+	x, y := s.MaxY()
+	if y != 25 || x != 64 {
+		t.Fatalf("max (%v, %v)", x, y)
+	}
+}
+
+func TestSeriesNeverSaturates(t *testing.T) {
+	s := Series{Name: "gpfs"}
+	for _, x := range []float64{1, 2, 4, 8} {
+		s.Append(x, x*1.5, 0)
+	}
+	if got := s.SaturationX(0.10); got != 8 {
+		t.Fatalf("unsaturated curve reported saturation at %v", got)
+	}
+	if gf := s.GrowthFactor(); gf != 8 {
+		t.Fatalf("growth factor = %v, want 8", gf)
+	}
+}
+
+func TestSeriesYAt(t *testing.T) {
+	s := Series{}
+	s.Append(4, 17, 0)
+	if s.YAt(4) != 17 {
+		t.Fatal("YAt existing X failed")
+	}
+	if !math.IsNaN(s.YAt(5)) {
+		t.Fatal("YAt missing X should be NaN")
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds collided %d times", same)
+	}
+}
+
+func TestRNGUniformity(t *testing.T) {
+	r := NewRNG(7)
+	const n = 100000
+	var buckets [10]int
+	for i := 0; i < n; i++ {
+		buckets[int(r.Float64()*10)]++
+	}
+	for i, c := range buckets {
+		if c < n/10*8/10 || c > n/10*12/10 {
+			t.Fatalf("bucket %d has %d of %d draws", i, c, n)
+		}
+	}
+}
+
+func TestRNGPerm(t *testing.T) {
+	r := NewRNG(1)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 10000; i++ {
+		if v := r.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	r := NewRNG(5)
+	s := r.Split()
+	// Drawing from s must not affect r's future sequence relative to a
+	// clone that also split.
+	r2 := NewRNG(5)
+	_ = r2.Split()
+	for i := 0; i < 100; i++ {
+		s.Uint64()
+	}
+	for i := 0; i < 100; i++ {
+		if r.Uint64() != r2.Uint64() {
+			t.Fatal("split generator perturbed parent")
+		}
+	}
+}

@@ -1,0 +1,292 @@
+// Package trace is the simulator's DFTracer: it records per-rank "read"
+// and "compute" spans during a DLIO run, computes the paper's I/O-time
+// decomposition — non-overlapping I/O, overlapping I/O, pure compute
+// (Section VI-A) — and derives the two throughput views: the application
+// throughput (the app only perceives I/O that stalls its compute) and the
+// system throughput (the system is busy for all I/O time). Traces export to
+// Chrome trace-event JSON for inspection.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"storagesim/internal/sim"
+)
+
+// Kind labels a span.
+type Kind int
+
+const (
+	// Read spans cover time a rank's I/O pipeline spends fetching samples.
+	Read Kind = iota
+	// Compute spans cover model training steps.
+	Compute
+	// Write spans cover checkpoint and output writes; they count as I/O in
+	// the overlap analysis alongside reads.
+	Write
+)
+
+// String returns "read", "compute" or "write".
+func (k Kind) String() string {
+	switch k {
+	case Read:
+		return "read"
+	case Compute:
+		return "compute"
+	default:
+		return "write"
+	}
+}
+
+// Span is one recorded interval.
+type Span struct {
+	Rank  int
+	Kind  Kind
+	Start sim.Time
+	End   sim.Time
+	Bytes int64 // payload for read spans; 0 for compute
+}
+
+// Duration returns the span length.
+func (s Span) Duration() sim.Duration { return s.End.Sub(s.Start) }
+
+// Recorder collects spans for one run. It is used from simulated processes
+// only, which the kernel serializes, so no locking is needed.
+type Recorder struct {
+	spans []Span
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Record appends a span; zero- and negative-length spans are kept out.
+func (r *Recorder) Record(rank int, k Kind, start, end sim.Time, bytes int64) {
+	if end <= start {
+		return
+	}
+	r.spans = append(r.spans, Span{Rank: rank, Kind: k, Start: start, End: end, Bytes: bytes})
+}
+
+// Spans returns the recorded spans in record order.
+func (r *Recorder) Spans() []Span { return r.spans }
+
+// Len returns the span count.
+func (r *Recorder) Len() int { return len(r.spans) }
+
+// Analysis is the per-run I/O time decomposition.
+type Analysis struct {
+	// Ranks is the number of distinct ranks seen.
+	Ranks int
+	// TotalIO is the summed read-span time across ranks (overlapping reads
+	// within one rank are unioned first: four I/O threads fetching at once
+	// occupy the rank's pipeline once, not four times).
+	TotalIO sim.Duration
+	// OverlapIO is the part of TotalIO that ran concurrently with the same
+	// rank's compute.
+	OverlapIO sim.Duration
+	// NonOverlapIO = TotalIO - OverlapIO: the stalls the application
+	// perceives.
+	NonOverlapIO sim.Duration
+	// ComputeTime is the summed (unioned per rank) compute time.
+	ComputeTime sim.Duration
+	// Bytes is the total payload read.
+	Bytes int64
+}
+
+// AppThroughput returns bytes over the I/O time the application perceives
+// (non-overlapping only). Fully hidden I/O yields +Inf-free large values
+// because the first batch can never overlap; callers report it as is.
+func (a Analysis) AppThroughput() float64 {
+	if a.NonOverlapIO <= 0 {
+		return 0
+	}
+	return float64(a.Bytes) / a.NonOverlapIO.Seconds()
+}
+
+// SysThroughput returns bytes over total I/O time.
+func (a Analysis) SysThroughput() float64 {
+	if a.TotalIO <= 0 {
+		return 0
+	}
+	return float64(a.Bytes) / a.TotalIO.Seconds()
+}
+
+// HiddenFraction returns OverlapIO/TotalIO — how much of the I/O the
+// asynchronous input pipeline managed to hide.
+func (a Analysis) HiddenFraction() float64 {
+	if a.TotalIO <= 0 {
+		return 0
+	}
+	return a.OverlapIO.Seconds() / a.TotalIO.Seconds()
+}
+
+// String renders the decomposition.
+func (a Analysis) String() string {
+	return fmt.Sprintf("io=%v (overlap=%v nonoverlap=%v) compute=%v hidden=%.0f%%",
+		a.TotalIO, a.OverlapIO, a.NonOverlapIO, a.ComputeTime, 100*a.HiddenFraction())
+}
+
+// interval is a half-open [start, end) pair used by the union machinery.
+type interval struct{ start, end sim.Time }
+
+// unionIntervals merges overlapping intervals in place and returns the
+// merged set in ascending order.
+func unionIntervals(iv []interval) []interval {
+	if len(iv) == 0 {
+		return iv
+	}
+	sort.Slice(iv, func(a, b int) bool { return iv[a].start < iv[b].start })
+	out := iv[:1]
+	for _, in := range iv[1:] {
+		last := &out[len(out)-1]
+		if in.start <= last.end {
+			if in.end > last.end {
+				last.end = in.end
+			}
+			continue
+		}
+		out = append(out, in)
+	}
+	return out
+}
+
+// totalLen sums interval lengths.
+func totalLen(iv []interval) sim.Duration {
+	var d sim.Duration
+	for _, in := range iv {
+		d += in.end.Sub(in.start)
+	}
+	return d
+}
+
+// intersectLen returns the total overlap between two merged interval sets.
+func intersectLen(a, b []interval) sim.Duration {
+	var d sim.Duration
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		lo := a[i].start
+		if b[j].start > lo {
+			lo = b[j].start
+		}
+		hi := a[i].end
+		if b[j].end < hi {
+			hi = b[j].end
+		}
+		if hi > lo {
+			d += hi.Sub(lo)
+		}
+		if a[i].end < b[j].end {
+			i++
+		} else {
+			j++
+		}
+	}
+	return d
+}
+
+// Analyze computes the decomposition over the recorded spans.
+func Analyze(spans []Span) Analysis {
+	perRank := map[int]*struct {
+		reads, computes []interval
+		bytes           int64
+	}{}
+	for _, s := range spans {
+		st, ok := perRank[s.Rank]
+		if !ok {
+			st = &struct {
+				reads, computes []interval
+				bytes           int64
+			}{}
+			perRank[s.Rank] = st
+		}
+		iv := interval{s.Start, s.End}
+		if s.Kind == Compute {
+			st.computes = append(st.computes, iv)
+		} else {
+			st.reads = append(st.reads, iv)
+			st.bytes += s.Bytes
+		}
+	}
+	var a Analysis
+	a.Ranks = len(perRank)
+	for _, st := range perRank {
+		reads := unionIntervals(st.reads)
+		computes := unionIntervals(st.computes)
+		io := totalLen(reads)
+		overlap := intersectLen(reads, computes)
+		a.TotalIO += io
+		a.OverlapIO += overlap
+		a.ComputeTime += totalLen(computes)
+		a.Bytes += st.bytes
+	}
+	a.NonOverlapIO = a.TotalIO - a.OverlapIO
+	return a
+}
+
+// chromeEvent is one Chrome trace-event ("X" complete events).
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`  // microseconds
+	Dur  float64 `json:"dur"` // microseconds
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+	Args struct {
+		Bytes int64 `json:"bytes,omitempty"`
+	} `json:"args"`
+}
+
+// WriteChromeTrace serializes the spans as a Chrome trace-event JSON array
+// (load it in chrome://tracing or Perfetto).
+func WriteChromeTrace(w io.Writer, spans []Span) error {
+	events := make([]chromeEvent, 0, len(spans))
+	for _, s := range spans {
+		ev := chromeEvent{
+			Name: s.Kind.String(),
+			Ph:   "X",
+			Ts:   float64(s.Start) / 1e3,
+			Dur:  float64(s.Duration()) / 1e3,
+			Pid:  s.Rank,
+			Tid:  int(s.Kind),
+		}
+		ev.Args.Bytes = s.Bytes
+		events = append(events, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{events})
+}
+
+// ReadChromeTrace parses a trace written by WriteChromeTrace back into
+// spans (used by cmd/tracestat).
+func ReadChromeTrace(r io.Reader) ([]Span, error) {
+	var doc struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("trace: %v", err)
+	}
+	spans := make([]Span, 0, len(doc.TraceEvents))
+	for _, ev := range doc.TraceEvents {
+		k := Read
+		switch ev.Name {
+		case "compute":
+			k = Compute
+		case "write":
+			k = Write
+		}
+		start := sim.Time(ev.Ts * 1e3)
+		spans = append(spans, Span{
+			Rank:  ev.Pid,
+			Kind:  k,
+			Start: start,
+			End:   start + sim.Time(ev.Dur*1e3),
+			Bytes: ev.Args.Bytes,
+		})
+	}
+	return spans, nil
+}

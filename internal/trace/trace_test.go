@@ -1,0 +1,200 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"storagesim/internal/sim"
+)
+
+func ms(x int64) sim.Time { return sim.Time(x * int64(time.Millisecond)) }
+
+func TestRecorderSkipsEmptySpans(t *testing.T) {
+	r := NewRecorder()
+	r.Record(0, Read, 10, 10, 100)
+	r.Record(0, Read, 10, 5, 100)
+	r.Record(0, Read, 10, 20, 100)
+	if r.Len() != 1 {
+		t.Fatalf("len = %d, want 1", r.Len())
+	}
+}
+
+func TestAnalyzeDisjoint(t *testing.T) {
+	// read 0-10ms, compute 10-90ms: no overlap.
+	spans := []Span{
+		{Rank: 0, Kind: Read, Start: ms(0), End: ms(10), Bytes: 1000},
+		{Rank: 0, Kind: Compute, Start: ms(10), End: ms(90)},
+	}
+	a := Analyze(spans)
+	if a.TotalIO != 10*time.Millisecond || a.OverlapIO != 0 || a.NonOverlapIO != 10*time.Millisecond {
+		t.Fatalf("analysis = %+v", a)
+	}
+	if a.ComputeTime != 80*time.Millisecond {
+		t.Fatalf("compute = %v", a.ComputeTime)
+	}
+	if a.Bytes != 1000 {
+		t.Fatalf("bytes = %d", a.Bytes)
+	}
+}
+
+func TestAnalyzeFullOverlap(t *testing.T) {
+	// read hidden entirely inside compute.
+	spans := []Span{
+		{Rank: 0, Kind: Compute, Start: ms(0), End: ms(100)},
+		{Rank: 0, Kind: Read, Start: ms(20), End: ms(60), Bytes: 4096},
+	}
+	a := Analyze(spans)
+	if a.OverlapIO != 40*time.Millisecond || a.NonOverlapIO != 0 {
+		t.Fatalf("analysis = %+v", a)
+	}
+	if a.HiddenFraction() != 1.0 {
+		t.Fatalf("hidden = %v", a.HiddenFraction())
+	}
+}
+
+func TestAnalyzePartialOverlap(t *testing.T) {
+	spans := []Span{
+		{Rank: 0, Kind: Read, Start: ms(0), End: ms(30), Bytes: 1},
+		{Rank: 0, Kind: Compute, Start: ms(20), End: ms(50)},
+	}
+	a := Analyze(spans)
+	if a.OverlapIO != 10*time.Millisecond || a.NonOverlapIO != 20*time.Millisecond {
+		t.Fatalf("analysis = %+v", a)
+	}
+}
+
+func TestAnalyzeUnionsConcurrentReaders(t *testing.T) {
+	// Four I/O threads reading simultaneously occupy the rank's pipeline
+	// once, not four times.
+	var spans []Span
+	for i := 0; i < 4; i++ {
+		spans = append(spans, Span{Rank: 0, Kind: Read, Start: ms(0), End: ms(10), Bytes: 100})
+	}
+	a := Analyze(spans)
+	if a.TotalIO != 10*time.Millisecond {
+		t.Fatalf("total IO = %v, want 10ms (unioned)", a.TotalIO)
+	}
+	if a.Bytes != 400 {
+		t.Fatalf("bytes = %d, want all payload counted", a.Bytes)
+	}
+}
+
+func TestAnalyzePerRankIsolation(t *testing.T) {
+	// Overlap is within a rank: rank 1's compute does not hide rank 0's IO.
+	spans := []Span{
+		{Rank: 0, Kind: Read, Start: ms(0), End: ms(10), Bytes: 1},
+		{Rank: 1, Kind: Compute, Start: ms(0), End: ms(10)},
+	}
+	a := Analyze(spans)
+	if a.OverlapIO != 0 || a.NonOverlapIO != 10*time.Millisecond {
+		t.Fatalf("analysis = %+v", a)
+	}
+	if a.Ranks != 2 {
+		t.Fatalf("ranks = %d", a.Ranks)
+	}
+}
+
+func TestThroughputs(t *testing.T) {
+	spans := []Span{
+		{Rank: 0, Kind: Compute, Start: ms(0), End: ms(100)},
+		{Rank: 0, Kind: Read, Start: ms(50), End: ms(150), Bytes: 100e6},
+	}
+	a := Analyze(spans)
+	// total IO 100ms, overlap 50ms, nonoverlap 50ms.
+	if got := a.SysThroughput(); got != 1e9 {
+		t.Fatalf("sys throughput = %v", got)
+	}
+	if got := a.AppThroughput(); got != 2e9 {
+		t.Fatalf("app throughput = %v", got)
+	}
+	if a.AppThroughput() < a.SysThroughput() {
+		t.Fatal("app throughput must be >= system throughput")
+	}
+}
+
+func TestChromeTraceRoundTrip(t *testing.T) {
+	r := NewRecorder()
+	r.Record(0, Read, ms(1), ms(2), 12345)
+	r.Record(1, Compute, ms(2), ms(5), 0)
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, r.Spans()); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadChromeTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 {
+		t.Fatalf("round trip lost spans: %v", back)
+	}
+	if back[0] != r.Spans()[0] || back[1] != r.Spans()[1] {
+		t.Fatalf("round trip mismatch:\n%v\n%v", back, r.Spans())
+	}
+}
+
+// Property: for any span set, NonOverlap + Overlap == Total, overlap is
+// bounded by both total IO and compute, and all are non-negative.
+func TestAnalysisInvariantsProperty(t *testing.T) {
+	f := func(raw []struct {
+		Rank  uint8
+		Kind  bool
+		Start uint16
+		Len   uint16
+	}) bool {
+		var spans []Span
+		for _, s := range raw {
+			k := Read
+			if s.Kind {
+				k = Compute
+			}
+			spans = append(spans, Span{
+				Rank:  int(s.Rank % 4),
+				Kind:  k,
+				Start: sim.Time(s.Start),
+				End:   sim.Time(uint32(s.Start) + uint32(s.Len%1000) + 1),
+				Bytes: 1,
+			})
+		}
+		a := Analyze(spans)
+		if a.TotalIO < 0 || a.OverlapIO < 0 || a.NonOverlapIO < 0 || a.ComputeTime < 0 {
+			return false
+		}
+		if a.NonOverlapIO+a.OverlapIO != a.TotalIO {
+			return false
+		}
+		if a.OverlapIO > a.TotalIO || a.OverlapIO > a.ComputeTime {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnionIntervals(t *testing.T) {
+	iv := []interval{{5, 10}, {0, 3}, {2, 6}, {20, 25}}
+	merged := unionIntervals(iv)
+	if len(merged) != 2 {
+		t.Fatalf("merged = %v", merged)
+	}
+	if merged[0].start != 0 || merged[0].end != 10 || merged[1].start != 20 || merged[1].end != 25 {
+		t.Fatalf("merged = %v", merged)
+	}
+	if totalLen(merged) != 15 {
+		t.Fatalf("total = %v", totalLen(merged))
+	}
+}
+
+func TestIntersectLen(t *testing.T) {
+	a := []interval{{0, 10}, {20, 30}}
+	b := []interval{{5, 25}}
+	if got := intersectLen(a, b); got != 10 {
+		t.Fatalf("intersect = %v, want 10", got)
+	}
+	if got := intersectLen(a, nil); got != 0 {
+		t.Fatalf("intersect with empty = %v", got)
+	}
+}

@@ -1,0 +1,126 @@
+package units
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestByteConstants(t *testing.T) {
+	if MiB != 1048576 {
+		t.Fatalf("MiB = %d", int64(MiB))
+	}
+	if MB != 1000000 {
+		t.Fatalf("MB = %d", int64(MB))
+	}
+	if GiB != 1024*MiB || TiB != 1024*GiB || PiB != 1024*TiB {
+		t.Fatal("IEC ladder broken")
+	}
+}
+
+func TestBytesString(t *testing.T) {
+	cases := []struct {
+		in   Bytes
+		want string
+	}{
+		{0, "0 B"},
+		{512, "512 B"},
+		{KiB, "1 KiB"},
+		{1536, "1.5 KiB"},
+		{MiB, "1 MiB"},
+		{150 * KB, "146.48 KiB"},
+		{GiB, "1 GiB"},
+		{5*GiB + 512*MiB, "5.5 GiB"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Bytes(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestBPSString(t *testing.T) {
+	cases := []struct {
+		in   BPS
+		want string
+	}{
+		{12.5 * GBps, "12.5 GB/s"},
+		{1 * GBps, "1 GB/s"},
+		{250 * MBps, "250 MB/s"},
+		{999, "999 B/s"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("BPS(%v).String() = %q, want %q", float64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestGbit(t *testing.T) {
+	// 100 Gb/s Ethernet = 12.5 GB/s.
+	if got := Gbit(100); got != 12.5*GBps {
+		t.Fatalf("Gbit(100) = %v", got)
+	}
+	// The paper's Lassen gateway: 2x100Gb = 25 GB/s.
+	if got := Gbit(2 * 100); got != 25*GBps {
+		t.Fatalf("Gbit(200) = %v", got)
+	}
+}
+
+func TestParseBytes(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Bytes
+	}{
+		{"1m", MiB}, // IOR convention
+		{"256k", 256 * KiB},
+		{"4g", 4 * GiB},
+		{"150KB", 150 * KB}, // ResNet-50 sample size
+		{"32MB", 32 * MB},   // Cosmoflow HDF5 sample size
+		{"120GiB", 120 * GiB},
+		{"1.5m", Bytes(1.5 * float64(MiB))},
+		{"512", 512},
+		{"512b", 512},
+		{"2TB", 2 * TB},
+		{"2t", 2 * TiB},
+		{"5.2PB", Bytes(5.2e15)}, // VAST capacity on Lassen
+	}
+	for _, c := range cases {
+		got, err := ParseBytes(c.in)
+		if err != nil {
+			t.Errorf("ParseBytes(%q) error: %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseBytes(%q) = %d, want %d", c.in, int64(got), int64(c.want))
+		}
+	}
+}
+
+func TestParseBytesErrors(t *testing.T) {
+	for _, in := range []string{"", "abc", "-5m", "12q", " "} {
+		if _, err := ParseBytes(in); err == nil {
+			t.Errorf("ParseBytes(%q) succeeded, want error", in)
+		}
+	}
+}
+
+// Property: String of a whole KiB multiple always round-trips through
+// ParseBytes.
+func TestParseStringRoundTrip(t *testing.T) {
+	f := func(n uint16) bool {
+		b := Bytes(n) * KiB
+		parsed, err := ParseBytes(b.String())
+		if err != nil {
+			return false
+		}
+		// String rounds to 2 decimals; allow 1% slack.
+		diff := parsed - b
+		if diff < 0 {
+			diff = -diff
+		}
+		return b == 0 || float64(diff) <= 0.01*float64(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

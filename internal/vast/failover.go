@@ -1,0 +1,93 @@
+package vast
+
+import "fmt"
+
+// CNode failure and failover. Section III-A.2 of the paper describes the
+// CNodes as stateless containers: "the VAST system state is firstly
+// written into multiple SSDs, then acknowledged and finally committed and
+// thus the containers (which host the CNodes) are considered stateless."
+// The operational consequence — any CNode can serve any client, so a
+// failure only costs capacity, never data or availability — is modeled
+// here: failing a CNode re-pins its clients to the survivors and removes
+// its NIC and reduction bandwidth from the pools.
+
+// FailCNode takes CNode i out of service. Clients pinned to it fail over
+// to the next healthy CNode; the multipath pools lose the node's share.
+// Failing an already-failed CNode is a no-op; failing the last healthy
+// CNode panics (the cluster would be down, which no experiment models).
+//
+// Op-level workloads resolve their path per operation and fail over
+// seamlessly. A flow-level stream that is mid-flight across the failed
+// server keeps its pinned path (the model cannot migrate a live flow) and
+// crawls at the parked capacity — mirroring an NFS hard-mount retrying
+// until its server returns. Inject failures around flow boundaries or use
+// op-level runs for failure studies.
+func (s *System) FailCNode(i int) {
+	if i < 0 || i >= s.cfg.CNodes {
+		panic(fmt.Sprintf("vast %s: no CNode %d", s.cfg.Name, i))
+	}
+	if s.failed[i] {
+		return
+	}
+	if s.healthyCNodes() == 1 {
+		panic(fmt.Sprintf("vast %s: cannot fail the last healthy CNode", s.cfg.Name))
+	}
+	s.failed[i] = true
+	// The failed server's NIC and reduction engine serve nobody: park their
+	// pipes at a negligible capacity so in-flight flows drain away from it
+	// rather than dividing by zero.
+	const parked = 1 // bytes/sec
+	s.cnodeNIC[i].SetCapacity(parked)
+	s.reduce[i].SetCapacity(parked)
+	if s.cnodePool != nil {
+		frac := float64(s.healthyCNodes()) / float64(s.cfg.CNodes)
+		s.cnodePool.SetCapacity(s.cfg.CNodeNICBW * float64(s.cfg.CNodes) * frac)
+		s.reducePool.SetCapacity(s.cfg.ReduceBWPerCNode * float64(s.cfg.CNodes) * frac)
+	}
+	// Stateless failover: re-pin every client that was on the dead server.
+	for _, cl := range s.clients {
+		if cl.cnode == i {
+			cl.cnode = s.nextHealthy(i)
+		}
+	}
+}
+
+// RestoreCNode returns a failed CNode to service (capacity only; clients
+// stay where the automounter left them until they remount).
+func (s *System) RestoreCNode(i int) {
+	if i < 0 || i >= s.cfg.CNodes || !s.failed[i] {
+		return
+	}
+	s.failed[i] = false
+	s.cnodeNIC[i].SetCapacity(s.cfg.CNodeNICBW)
+	s.reduce[i].SetCapacity(s.cfg.ReduceBWPerCNode)
+	if s.cnodePool != nil {
+		frac := float64(s.healthyCNodes()) / float64(s.cfg.CNodes)
+		s.cnodePool.SetCapacity(s.cfg.CNodeNICBW * float64(s.cfg.CNodes) * frac)
+		s.reducePool.SetCapacity(s.cfg.ReduceBWPerCNode * float64(s.cfg.CNodes) * frac)
+	}
+}
+
+// HealthyCNodes reports how many CNodes are in service.
+func (s *System) HealthyCNodes() int { return s.healthyCNodes() }
+
+func (s *System) healthyCNodes() int {
+	n := 0
+	for i := 0; i < s.cfg.CNodes; i++ {
+		if !s.failed[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// nextHealthy returns the first in-service CNode after i (wrapping).
+func (s *System) nextHealthy(i int) int {
+	for step := 1; step <= s.cfg.CNodes; step++ {
+		j := (i + step) % s.cfg.CNodes
+		if !s.failed[j] {
+			return j
+		}
+	}
+	panic("vast: no healthy CNodes") // guarded by FailCNode
+}

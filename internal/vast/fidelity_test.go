@@ -1,0 +1,53 @@
+package vast
+
+import (
+	"testing"
+
+	"storagesim/internal/fsapi"
+	"storagesim/internal/netsim"
+	"storagesim/internal/sim"
+)
+
+// TestFlowAndOpLevelAgree pins the claim in docs/MODEL.md §6: the two
+// simulation fidelities produce comparable bandwidth for a steady
+// sequential stream. Flow level moves the phase as one fair-shared flow;
+// op level pushes 1 MiB writes through the page cache with eviction
+// write-back and a closing flush. They must land within 30% (op level
+// pays real per-op RPC latencies).
+func TestFlowAndOpLevelAgree(t *testing.T) {
+	const total = 2 << 30
+
+	flowBW := func() float64 {
+		env, fab, sys := newTestSystem(t)
+		cl := sys.Mount("n0", netsim.NewIface(fab, "n0/nic", 10e9, 0))
+		var end sim.Time
+		env.Go("w", func(p *sim.Proc) {
+			cl.StreamWrite(p, "/f", fsapi.Sequential, 1<<20, total)
+			end = p.Now()
+		})
+		env.Run()
+		return float64(total) / sim.Duration(end).Seconds()
+	}()
+
+	opBW := func() float64 {
+		env, fab, sys := newTestSystem(t)
+		cl := sys.Mount("n0", netsim.NewIface(fab, "n0/nic", 10e9, 0))
+		var end sim.Time
+		env.Go("w", func(p *sim.Proc) {
+			f := cl.Open(p, "/f", true)
+			for off := int64(0); off < total; off += 1 << 20 {
+				f.WriteAt(p, off, 1<<20)
+			}
+			f.Close(p) // flush the tail
+			end = p.Now()
+		})
+		env.Run()
+		return float64(total) / sim.Duration(end).Seconds()
+	}()
+
+	ratio := opBW / flowBW
+	if ratio < 0.7 || ratio > 1.05 {
+		t.Fatalf("fidelities disagree: op-level %.3e vs flow-level %.3e (ratio %.2f)",
+			opBW, flowBW, ratio)
+	}
+}

@@ -1,0 +1,90 @@
+package vast
+
+import (
+	"storagesim/internal/device"
+	"storagesim/internal/sim"
+)
+
+// SCM write staging and background migration (Section III-A.2/4/5): VAST
+// acks a write once it is committed to the SCM replicas, then
+// asynchronously similarity-reduces and migrates the data to the QLC
+// backbone. Under normal load the ack path never touches QLC; under
+// sustained ingest beyond the drain rate the staging area fills and
+// writers throttle to the migrator — the classic burst-buffer saturation
+// behaviour (cf. Lockwood et al., PDSW'21, on benchmarking all-flash
+// storage past its staging tier).
+//
+// The migrator is not a perpetual process: each staged burst starts a
+// background QLC flow whose completion releases the staged bytes, so the
+// simulation drains naturally once writers stop.
+
+// stager tracks staged-but-unmigrated bytes and applies backpressure.
+type stager struct {
+	sys      *System
+	capacity int64 // staging capacity; 0 disables backpressure
+	staged   int64
+	migrated int64
+
+	// space fires when a migration completes and frees staging room; it is
+	// re-armed after each broadcast.
+	space *sim.Event
+}
+
+// newStager returns the staging accountant.
+func newStager(s *System) *stager {
+	return &stager{
+		sys:      s,
+		capacity: s.cfg.SCMStagingBytes,
+		space:    sim.NewEvent(s.env),
+	}
+}
+
+// Staged returns the bytes currently staged on SCM awaiting migration.
+func (st *stager) Staged() int64 { return st.staged }
+
+// Migrated returns the bytes drained to QLC so far (pre-reduction).
+func (st *stager) Migrated() int64 { return st.migrated }
+
+// admit blocks the writer while the staging area is full (backpressure
+// precedes the SCM landing) and accounts the incoming bytes. The caller
+// starts the drain with migrate once the data has landed.
+func (st *stager) admit(p *sim.Proc, bytes int64) {
+	if bytes <= 0 {
+		return
+	}
+	if st.capacity > 0 {
+		for st.staged >= st.capacity {
+			st.space.Wait(p)
+		}
+	}
+	st.staged += bytes
+}
+
+// migrate starts the asynchronous drain of bytes that have landed on SCM.
+func (st *stager) migrate(bytes int64) {
+	if bytes <= 0 {
+		return
+	}
+	st.startMigration(bytes)
+}
+
+// startMigration launches the asynchronous SCM→QLC drain of one burst.
+// Migration happens inside the DBoxes (SCM → PCIe switches → QLC), so it
+// consumes QLC write bandwidth but not the CBox↔DBox fabric, and the
+// similarity reduction shrinks the bytes that reach flash.
+func (st *stager) startMigration(bytes int64) {
+	s := st.sys
+	ratio := s.cfg.ReductionRatio
+	if ratio < 1 {
+		ratio = 1
+	}
+	pipes := s.qlc.StreamPipes(device.Sequential, true, 1<<20)
+	flow := s.fab.StartFlow(pipes, float64(bytes)/ratio, 0)
+	s.env.Go(s.cfg.Name+"/migrate", func(p *sim.Proc) {
+		flow.Done().Wait(p)
+		st.staged -= bytes
+		st.migrated += bytes
+		st.space.Fire()
+		st.space = sim.NewEvent(s.env)
+	})
+}

@@ -1,0 +1,211 @@
+// Package workloads maps the real applications the paper cites (Section
+// III-B) onto the benchmark engines, the way the paper maps them onto IOR
+// access patterns: scientific simulations are bulk-synchronous sequential
+// writers, data-analytics codes are sequential readers, ML/DL codes are
+// random readers or DLIO pipelines. Each preset documents the application's
+// published I/O signature and returns a ready-to-run configuration.
+package workloads
+
+import (
+	"fmt"
+	"time"
+
+	"storagesim/internal/dlio"
+	"storagesim/internal/ior"
+	"storagesim/internal/units"
+)
+
+// Kind distinguishes which engine a workload runs on.
+type Kind int
+
+const (
+	// IORKind workloads run on the IOR engine.
+	IORKind Kind = iota
+	// DLIOKind workloads run on the DLIO engine.
+	DLIOKind
+)
+
+// Workload is one named application preset.
+type Workload struct {
+	// Name is the application name as the paper cites it.
+	Name string
+	// Description summarizes the I/O signature being modeled.
+	Description string
+	// Kind selects the engine.
+	Kind Kind
+	// IOR is set for IORKind.
+	IOR ior.Config
+	// DLIO is set for DLIOKind.
+	DLIO dlio.Config
+}
+
+// CM1 models the atmospheric-simulation writer: "generates more than 750
+// files each of 16 MB in size" — bulk-synchronous sequential writes,
+// file-per-process.
+func CM1(procsPerNode int) Workload {
+	return Workload{
+		Name:        "CM1",
+		Description: "atmospheric simulation: 750+ sequential 16 MB file writes",
+		Kind:        IORKind,
+		IOR: ior.Config{
+			Workload:     ior.Scientific,
+			BlockSize:    int64(16 * units.MiB),
+			TransferSize: int64(units.MiB),
+			Segments:     1, // one 16 MB block per file; many files via ranks
+			ProcsPerNode: procsPerNode,
+			ReorderTasks: false,
+			Dir:          "/cm1",
+		},
+	}
+}
+
+// HACCIO models the cosmology checkpoint/restart kernel: each rank dumps
+// its particle state sequentially, then a restart reads it back.
+func HACCIO(procsPerNode int) Workload {
+	return Workload{
+		Name:        "HACC-I/O",
+		Description: "checkpoint/restart on simulation data: seq write then seq read back",
+		Kind:        IORKind,
+		IOR: ior.Config{
+			Workload:     ior.Analytics, // write phase + read-back phase
+			BlockSize:    int64(units.MiB),
+			TransferSize: int64(units.MiB),
+			Segments:     1024, // ~1 GiB checkpoint per rank
+			ProcsPerNode: procsPerNode,
+			ReorderTasks: true, // restart often lands on different nodes
+			Dir:          "/hacc",
+		},
+	}
+}
+
+// BDCATS models the trillion-particle clustering analytics: iterative
+// sequential traversal of a large shared dataset. (The paper runs N-N to
+// isolate storage behaviour; the SharedFile flag reproduces the N-1
+// contention it avoided.)
+func BDCATS(procsPerNode int) Workload {
+	return Workload{
+		Name:        "BD-CATS",
+		Description: "data analytics over one shared HDF5 file: N-1 sequential reads",
+		Kind:        IORKind,
+		IOR: ior.Config{
+			Workload:     ior.Analytics,
+			BlockSize:    int64(units.MiB),
+			TransferSize: int64(units.MiB),
+			Segments:     512,
+			ProcsPerNode: procsPerNode,
+			ReorderTasks: true,
+			SharedFile:   true,
+			Dir:          "/bdcats",
+		},
+	}
+}
+
+// KMeans models point-set clustering: ranks repeatedly read disjoint
+// divisions of the input sequentially.
+func KMeans(procsPerNode int) Workload {
+	return Workload{
+		Name:        "KMeans",
+		Description: "clustering: ranks read disjoint point divisions sequentially",
+		Kind:        IORKind,
+		IOR: ior.Config{
+			Workload:     ior.Analytics,
+			BlockSize:    int64(4 * units.MiB),
+			TransferSize: int64(units.MiB),
+			Segments:     128,
+			ProcsPerNode: procsPerNode,
+			ReorderTasks: true,
+			Dir:          "/kmeans",
+		},
+	}
+}
+
+// OutOfCoreSort models the paper's ML stand-in: database-like files where
+// "the offset indicates the location of each entry" — random reads.
+func OutOfCoreSort(procsPerNode int) Workload {
+	return Workload{
+		Name:        "out-of-core sort",
+		Description: "random reads at entry offsets in database-like files",
+		Kind:        IORKind,
+		IOR: ior.Config{
+			Workload:     ior.ML,
+			BlockSize:    int64(units.MiB),
+			TransferSize: int64(units.MiB),
+			Segments:     512,
+			ProcsPerNode: procsPerNode,
+			ReorderTasks: true,
+			Dir:          "/oocsort",
+		},
+	}
+}
+
+// ResNet50 re-exports the DLIO preset under the workloads catalogue.
+func ResNet50() Workload {
+	return Workload{
+		Name:        "ResNet-50",
+		Description: "image classification: 150 KB JPEG samples, 8 I/O threads, weak scaling",
+		Kind:        DLIOKind,
+		DLIO:        dlio.ResNet50(),
+	}
+}
+
+// Cosmoflow re-exports the DLIO preset under the workloads catalogue.
+func Cosmoflow() Workload {
+	return Workload{
+		Name:        "Cosmoflow",
+		Description: "dark-matter CNN: 32 MB TFRecords in 256 KB reads, 4 I/O threads, strong scaling",
+		Kind:        DLIOKind,
+		DLIO:        dlio.Cosmoflow(),
+	}
+}
+
+// CosmicTagger models the UNet segmentation trainer: HDF5 samples striped
+// in memory via h5py, a heavier per-sample read than ResNet with a longer
+// step time.
+func CosmicTagger() Workload {
+	cfg := dlio.Config{
+		Model:           "cosmic-tagger",
+		Samples:         512,
+		SampleBytes:     4 << 20,
+		TransferBytes:   1 << 20,
+		SamplesPerFile:  8,
+		Epochs:          2,
+		BatchSize:       1,
+		ReadThreads:     6,
+		PrefetchDepth:   12,
+		ComputePerBatch: 80 * time.Millisecond,
+		ProcsPerNode:    4,
+		Scaling:         dlio.WeakScaling,
+		Shuffle:         true,
+		Seed:            13,
+		Dir:             "/dlio/cosmictagger",
+	}
+	return Workload{
+		Name:        "Cosmic Tagger",
+		Description: "UNet over HDF5: 4 MB samples read in 1 MB stripes",
+		Kind:        DLIOKind,
+		DLIO:        cfg,
+	}
+}
+
+// Catalogue returns every preset, keyed for CLI lookup.
+func Catalogue(procsPerNode int) map[string]Workload {
+	return map[string]Workload{
+		"cm1":           CM1(procsPerNode),
+		"hacc":          HACCIO(procsPerNode),
+		"bdcats":        BDCATS(procsPerNode),
+		"kmeans":        KMeans(procsPerNode),
+		"oocsort":       OutOfCoreSort(procsPerNode),
+		"resnet50":      ResNet50(),
+		"cosmoflow":     Cosmoflow(),
+		"cosmic-tagger": CosmicTagger(),
+	}
+}
+
+// ByName resolves a preset.
+func ByName(name string, procsPerNode int) (Workload, error) {
+	w, ok := Catalogue(procsPerNode)[name]
+	if !ok {
+		return Workload{}, fmt.Errorf("workloads: unknown application %q", name)
+	}
+	return w, nil
+}

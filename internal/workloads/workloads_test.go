@@ -1,0 +1,126 @@
+package workloads
+
+import (
+	"testing"
+
+	"storagesim/internal/cluster"
+	"storagesim/internal/dlio"
+	"storagesim/internal/fsapi"
+	"storagesim/internal/ior"
+	"storagesim/internal/sim"
+	"storagesim/internal/trace"
+)
+
+func TestCatalogueComplete(t *testing.T) {
+	cat := Catalogue(8)
+	want := []string{"cm1", "hacc", "bdcats", "kmeans", "oocsort", "resnet50", "cosmoflow", "cosmic-tagger"}
+	for _, name := range want {
+		w, ok := cat[name]
+		if !ok {
+			t.Errorf("catalogue missing %q", name)
+			continue
+		}
+		if w.Name == "" || w.Description == "" {
+			t.Errorf("%q lacks name/description", name)
+		}
+		switch w.Kind {
+		case IORKind:
+			if err := w.IOR.Validate(); err != nil {
+				t.Errorf("%q IOR config invalid: %v", name, err)
+			}
+		case DLIOKind:
+			if err := w.DLIO.Validate(); err != nil {
+				t.Errorf("%q DLIO config invalid: %v", name, err)
+			}
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("cm1", 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("vasp", 4); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestPatternMapping(t *testing.T) {
+	// The paper's mapping: scientific -> seq write, analytics -> seq read,
+	// ML -> random read.
+	if CM1(4).IOR.Workload != ior.Scientific {
+		t.Error("CM1 must be a sequential writer")
+	}
+	if HACCIO(4).IOR.Workload != ior.Analytics {
+		t.Error("HACC-I/O must read its checkpoint back")
+	}
+	if KMeans(4).IOR.Workload != ior.Analytics || BDCATS(4).IOR.Workload != ior.Analytics {
+		t.Error("analytics workloads must be sequential readers")
+	}
+	if OutOfCoreSort(4).IOR.Workload != ior.ML {
+		t.Error("out-of-core sort must be a random reader")
+	}
+	if !BDCATS(4).IOR.SharedFile {
+		t.Error("BD-CATS operates on one shared file (N-1)")
+	}
+	if Cosmoflow().DLIO.Scaling != dlio.StrongScaling {
+		t.Error("Cosmoflow scales strongly")
+	}
+}
+
+func TestCM1Signature(t *testing.T) {
+	w := CM1(8)
+	if w.IOR.BlockSize != 16<<20 {
+		t.Fatalf("CM1 file size = %d, want 16 MiB", w.IOR.BlockSize)
+	}
+}
+
+func TestWorkloadsRunOnSimulatedStorage(t *testing.T) {
+	// Every IOR-kind preset must actually run on a deployment end to end.
+	env := sim.NewEnv()
+	fab := sim.NewFabric(env)
+	cl := cluster.MustNew(env, fab, cluster.LassenSpec(), 1)
+	sys := cluster.GPFSOnLassen(cl)
+	mount := sys.Mount(cl.Node(0).Name, cl.Node(0).NIC)
+	ranIOR := 0
+	for name, w := range Catalogue(4) {
+		if w.Kind != IORKind {
+			continue
+		}
+		cfg := w.IOR
+		cfg.Segments = 4 // shrink for the unit test
+		env2 := sim.NewEnv()
+		fab2 := sim.NewFabric(env2)
+		cl2 := cluster.MustNew(env2, fab2, cluster.LassenSpec(), 1)
+		sys2 := cluster.GPFSOnLassen(cl2)
+		m2 := sys2.Mount(cl2.Node(0).Name, cl2.Node(0).NIC)
+		res, err := ior.Run(env2, []fsapi.Client{m2}, cfg)
+		if err != nil {
+			t.Fatalf("%s failed: %v", name, err)
+		}
+		if res.WriteBW <= 0 {
+			t.Fatalf("%s produced no write bandwidth", name)
+		}
+		ranIOR++
+	}
+	if ranIOR != 5 {
+		t.Fatalf("ran %d IOR presets, want 5", ranIOR)
+	}
+	_ = mount
+
+	// And one DLIO preset (Cosmic Tagger, the smallest).
+	env3 := sim.NewEnv()
+	fab3 := sim.NewFabric(env3)
+	cl3 := cluster.MustNew(env3, fab3, cluster.LassenSpec(), 1)
+	sys3 := cluster.GPFSOnLassen(cl3)
+	m3 := sys3.Mount(cl3.Node(0).Name, cl3.Node(0).NIC)
+	ct := CosmicTagger().DLIO
+	ct.Samples = 32
+	res, err := dlio.Run(env3, []fsapi.Client{m3}, ct, trace.NewRecorder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Samples != 64 { // 32 samples x 2 epochs
+		t.Fatalf("cosmic tagger processed %d samples", res.Samples)
+	}
+}
