@@ -1,0 +1,31 @@
+# Development targets. `make check` is the smoke gate: vet + build + the
+# race-enabled tests of the packages the fabric solver rewrite touches +
+# one iteration of the solver micro-benchmarks (catches benchmark rot
+# without paying for stable timings).
+
+GO ?= go
+
+.PHONY: check vet build test race bench-smoke bench test-all
+
+check: vet build race bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/sim/... ./internal/experiments/...
+
+bench-smoke:
+	$(GO) test ./internal/sim/ -run XXX -bench BenchmarkFabricSolver -benchtime=1x
+
+# Full solver benchmark grid with stable-ish timings.
+bench:
+	$(GO) test ./internal/sim/ -run XXX -bench BenchmarkFabricSolver -benchtime=3x -benchmem
+
+test-all: build test race

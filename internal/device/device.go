@@ -121,9 +121,17 @@ type Device struct {
 	// to detect seeks at op level.
 	nextOffset map[uint64]int64
 
-	// service caches per-(pattern, direction, ioSize) service pipes used by
-	// the flow-level API; see streamPipes.
-	service map[serviceKey]*sim.Pipe
+	// service caches the per-(pattern, direction, ioSize) stream paths used
+	// by the flow-level API; see StreamPipes. serviceList holds the service
+	// pipes in creation order so Derate never iterates a map (map order
+	// would leak into the fabric's dirty-pipe order and with it into float
+	// evaluation order — a reproducibility hazard).
+	service     map[serviceKey][]*sim.Pipe
+	serviceList []*sim.Pipe
+
+	// cached single-pipe media paths for full-bandwidth streams.
+	readPath  []*sim.Pipe
+	writePath []*sim.Pipe
 
 	ops   int64
 	seeks int64
@@ -140,7 +148,7 @@ func New(env *sim.Env, fab *sim.Fabric, spec Spec) (*Device, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	return &Device{
+	d := &Device{
 		spec:       spec,
 		env:        env,
 		fab:        fab,
@@ -148,8 +156,11 @@ func New(env *sim.Env, fab *sim.Fabric, spec Spec) (*Device, error) {
 		writePipe:  fab.NewPipe(spec.Name+"/write", spec.WriteBW, 0),
 		qd:         sim.NewResource(env, spec.Name+"/qd", spec.QueueDepth),
 		nextOffset: map[uint64]int64{},
-		service:    map[serviceKey]*sim.Pipe{},
-	}, nil
+		service:    map[serviceKey][]*sim.Pipe{},
+	}
+	d.readPath = []*sim.Pipe{d.readPipe}
+	d.writePath = []*sim.Pipe{d.writePipe}
+	return d, nil
 }
 
 // MustNew is New that panics on a bad spec, for use with the validated
@@ -176,7 +187,7 @@ func (d *Device) Seeks() int64 { return d.seeks }
 func (d *Device) Derate(f float64) {
 	d.readPipe.SetCapacity(d.readPipe.Capacity() * f)
 	d.writePipe.SetCapacity(d.writePipe.Capacity() * f)
-	for _, svc := range d.service {
+	for _, svc := range d.serviceList {
 		svc.SetCapacity(svc.Capacity() * f)
 	}
 }
@@ -294,24 +305,26 @@ func (d *Device) PerStreamBW(a Access, write bool, ioSize int64) float64 {
 // concurrent random streams share the device's true random throughput while
 // the network path still carries real bytes.
 func (d *Device) StreamPipes(a Access, write bool, ioSize int64) []*sim.Pipe {
-	media := d.readPipe
+	media, mediaPath := d.readPipe, d.readPath
 	bw := d.spec.ReadBW
 	if write {
-		media = d.writePipe
+		media, mediaPath = d.writePipe, d.writePath
 		bw = d.spec.WriteBW
 	}
 	eff := d.EffectiveBW(a, write, ioSize)
 	if eff >= 0.999*bw {
-		return []*sim.Pipe{media}
+		return mediaPath
 	}
 	key := serviceKey{access: a, write: write, ioSize: ioSize}
-	svc, ok := d.service[key]
+	path, ok := d.service[key]
 	if !ok {
 		name := fmt.Sprintf("%s/svc-%s-%s-%d", d.spec.Name, a, rw(write), ioSize)
-		svc = d.fab.NewPipe(name, eff, 0)
-		d.service[key] = svc
+		svc := d.fab.NewPipe(name, eff, 0)
+		d.serviceList = append(d.serviceList, svc)
+		path = []*sim.Pipe{svc, media}
+		d.service[key] = path
 	}
-	return []*sim.Pipe{svc, media}
+	return path
 }
 
 func rw(write bool) string {
@@ -338,6 +351,15 @@ func (d *Device) stream(p *sim.Proc, a Access, write bool, ioSize int64, bytes f
 	if bytes <= 0 {
 		return
 	}
-	pipes := append(d.StreamPipes(a, write, ioSize), path...)
+	devPipes := d.StreamPipes(a, write, ioSize)
+	if len(path) == 0 {
+		// Device-only stream: hand the fabric the cached slice directly.
+		d.fab.Transfer(p, devPipes, bytes, rateCap)
+		return
+	}
+	// Concatenate into fresh storage: devPipes is a shared cached slice and
+	// must never be extended in place.
+	pipes := make([]*sim.Pipe, 0, len(devPipes)+len(path))
+	pipes = append(append(pipes, devPipes...), path...)
 	d.fab.Transfer(p, pipes, bytes, rateCap)
 }

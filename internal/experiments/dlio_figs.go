@@ -42,18 +42,19 @@ func dlioSweep(cfg dlio.Config, opts Options, collect func(fs FS, nodes int, rep
 	opts = opts.withDefaults()
 	for _, fs := range []FS{VAST, GPFS} {
 		rng := stats.NewRNG(opts.Seed ^ hashString(cfg.Model+string(fs)))
+		spread := dedicatedSpread
+		if fs == GPFS {
+			spread = sharedSpread
+		}
 		for _, n := range dlioNodes(cfg.Model, opts.Quick) {
-			var reps []dlio.Result
-			for rep := 0; rep < opts.Reps; rep++ {
-				spread := dedicatedSpread
-				if fs == GPFS {
-					spread = sharedSpread
-				}
-				res, err := dlioPoint(fs, n, cfg, derateFactor(rng, rep, spread), opts.Seed+uint64(rep))
-				if err != nil {
-					return err
-				}
-				reps = append(reps, res)
+			fs, n := fs, n
+			reps, err := runReps(opts.Reps,
+				func(rep int) float64 { return derateFactor(rng, rep, spread) },
+				func(rep int, f float64) (dlio.Result, error) {
+					return dlioPoint(fs, n, cfg, f, opts.Seed+uint64(rep))
+				})
+			if err != nil {
+				return err
 			}
 			if err := collect(fs, n, reps); err != nil {
 				return err

@@ -93,14 +93,15 @@ func Consistency(opts Options) (Table, error) {
 		if fs == GPFS {
 			spread = sharedSpread
 		}
-		var vals []float64
-		for rep := 0; rep < reps; rep++ {
-			v, err := iorPoint("Lassen", fs, nodes, 44, ior.Analytics, 3000, false,
-				derateFactor(rng, rep, spread), opts.Seed+uint64(rep), nil)
-			if err != nil {
-				return Table{}, err
-			}
-			vals = append(vals, v)
+		fs := fs
+		vals, err := runReps(reps,
+			func(rep int) float64 { return derateFactor(rng, rep, spread) },
+			func(rep int, f float64) (float64, error) {
+				return iorPoint("Lassen", fs, nodes, 44, ior.Analytics, 3000, false,
+					f, opts.Seed+uint64(rep), nil)
+			})
+		if err != nil {
+			return Table{}, err
 		}
 		s := stats.Summarize(vals)
 		t.Rows = append(t.Rows, []string{

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden figure tables")
+
+// The golden figure tests pin the *rendered bytes* of representative figure
+// tables. The fabric solver, the repetition fan-out and the backend path
+// construction may be rearranged freely for performance, but the simulated
+// virtual-time results — and therefore every printed digit — must not move.
+// Regenerate deliberately with:
+//
+//	go test ./internal/experiments -run TestGolden -update-golden
+
+func goldenCompare(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-golden): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s drifted from golden.\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestGoldenFig2aQuick pins the Figure 2a quick-sweep tables: the IOR
+// scalability panels exercise the full VAST and GPFS stacks (5632 flows at
+// the 64-node point) through the class-aggregated solver.
+func TestGoldenFig2aQuick(t *testing.T) {
+	panels, err := Fig2a(Options{Quick: true, Reps: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, p := range panels {
+		b.WriteString(p.Render())
+	}
+	goldenCompare(t, "fig2a_quick_reps3.golden", b.String())
+}
+
+// TestGoldenConsistencyQuick pins the run-to-run consistency table, which
+// sweeps 4 contended repetitions through the parallel repetition runner.
+func TestGoldenConsistencyQuick(t *testing.T) {
+	tab, err := Consistency(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenCompare(t, "consistency_quick.golden", tab.Render())
+}

@@ -108,19 +108,19 @@ func iorPoint(machine string, fs FS, nodes, ppn int, wl ior.Workload, segments i
 func iorSeries(name, machine string, fs FS, xs []int, point func(x int, derate float64, seed uint64) (float64, error), opts Options) (stats.Series, error) {
 	s := stats.Series{Name: name}
 	rng := stats.NewRNG(opts.Seed ^ hashString(name))
+	tbSpread := dedicatedSpread
+	if fs == GPFS || fs == Lustre {
+		tbSpread = sharedSpread
+	}
 	for _, x := range xs {
-		vals := make([]float64, 0, opts.Reps)
-		for rep := 0; rep < opts.Reps; rep++ {
-			tbSpread := dedicatedSpread
-			if fs == GPFS || fs == Lustre {
-				tbSpread = sharedSpread
-			}
-			f := derateFactor(rng, rep, tbSpread)
-			v, err := point(x, f, opts.Seed+uint64(rep))
-			if err != nil {
-				return s, err
-			}
-			vals = append(vals, v)
+		x := x
+		vals, err := runReps(opts.Reps,
+			func(rep int) float64 { return derateFactor(rng, rep, tbSpread) },
+			func(rep int, f float64) (float64, error) {
+				return point(x, f, opts.Seed+uint64(rep))
+			})
+		if err != nil {
+			return s, err
 		}
 		mean, dev := summarizeReps(vals)
 		s.Append(float64(x), mean, dev)

@@ -1,0 +1,41 @@
+package experiments
+
+import "sync"
+
+// runReps executes the repetitions of one sweep point concurrently, one
+// goroutine per repetition. Each repetition builds its own sim.Env and
+// testbed (buildTestbed allocates everything fresh; no backend keeps
+// package-level mutable state), so the simulations are fully independent.
+//
+// Determinism is preserved by construction:
+//
+//   - the contention RNG is consumed sequentially in repetition order
+//     *before* the fan-out, so the draw sequence is identical to the old
+//     serial loop;
+//   - results land in a slice indexed by repetition, so the merge order
+//     never depends on goroutine finish order;
+//   - on error, the lowest-numbered failing repetition wins.
+func runReps[T any](reps int, derate func(rep int) float64, point func(rep int, derate float64) (T, error)) ([]T, error) {
+	factors := make([]float64, reps)
+	for rep := range factors {
+		factors[rep] = derate(rep)
+	}
+	out := make([]T, reps)
+	errs := make([]error, reps)
+	var wg sync.WaitGroup
+	for rep := 0; rep < reps; rep++ {
+		rep := rep
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[rep], errs[rep] = point(rep, factors[rep])
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -152,6 +152,12 @@ func (s *System) Mount(node string, nic *netsim.Iface) fsapi.Client {
 		stackUp:   s.fab.NewPipe(s.cfg.Name+"/"+node+"/stack-up", s.cfg.ClientWriteCap, 0),
 		stackDown: s.fab.NewPipe(s.cfg.Name+"/"+node+"/stack-down", s.cfg.ClientStreamCap, 0),
 	}
+	// The network paths never change after mount; cache them once so the
+	// per-op hot path hands the fabric a stable slice (stable slices also
+	// keep the flow-class signature lookup allocation-free).
+	cl.writePath = []*sim.Pipe{cl.stackUp, nic.Dir(netsim.ClientToServer), s.nsdUp}
+	cl.readPath = []*sim.Pipe{s.nsdDown, nic.Dir(netsim.ServerToClient), cl.stackDown}
+	cl.memReadPath = append([]*sim.Pipe{s.serverMem}, cl.readPath...)
 	var pc *cache.Cache
 	if s.cfg.ClientCacheBytes > 0 {
 		pc = cache.New(cache.Config{
@@ -176,6 +182,11 @@ type client struct {
 	stackUp   *sim.Pipe // per-node write ceiling
 	stackDown *sim.Pipe // per-node read ceiling
 	core      fsbase.ClientCore
+
+	// cached network paths (see Mount); treated as immutable.
+	writePath   []*sim.Pipe
+	readPath    []*sim.Pipe
+	memReadPath []*sim.Pipe // server-memory-fronted read path
 }
 
 type backend client
@@ -198,14 +209,10 @@ func (c *client) Remove(p *sim.Proc, path string) { c.core.Remove(p, path) }
 func (c *client) DropCaches() { c.core.DropCaches() }
 
 // writePipes is the network path of a client→NSD write.
-func (c *client) writePipes() []*sim.Pipe {
-	return []*sim.Pipe{c.stackUp, c.nic.Dir(netsim.ClientToServer), c.sys.nsdUp}
-}
+func (c *client) writePipes() []*sim.Pipe { return c.writePath }
 
 // readPipes is the network path of an NSD→client read.
-func (c *client) readPipes() []*sim.Pipe {
-	return []*sim.Pipe{c.sys.nsdDown, c.nic.Dir(netsim.ServerToClient), c.stackDown}
-}
+func (c *client) readPipes() []*sim.Pipe { return c.readPath }
 
 // StreamWrite implements fsapi.Client: one flow into the RAID pool.
 func (c *client) StreamWrite(p *sim.Proc, path string, a fsapi.Access, ioSize, total int64) {
@@ -221,8 +228,7 @@ func (c *client) StreamWrite(p *sim.Proc, path string, a fsapi.Access, ioSize, t
 func (c *client) StreamRead(p *sim.Proc, path string, a fsapi.Access, ioSize, total int64) {
 	s := c.sys
 	if a == fsapi.Sequential {
-		pipes := append([]*sim.Pipe{s.serverMem}, c.readPipes()...)
-		s.fab.Transfer(p, pipes, float64(total), 0)
+		s.fab.Transfer(p, c.memReadPath, float64(total), 0)
 		return
 	}
 	// A random reader issues blocking requests with no prefetch: each op
@@ -261,8 +267,7 @@ func (b *backend) OpRead(p *sim.Proc, ino *fsapi.Inode, off, n int64) {
 	if s.serverCch != nil {
 		hit, misses := s.serverCch.Lookup(ino.ID, off, n)
 		if hit > 0 {
-			pipes := append([]*sim.Pipe{s.serverMem}, c.readPipes()...)
-			s.fab.Transfer(p, pipes, float64(hit), 0)
+			s.fab.Transfer(p, c.memReadPath, float64(hit), 0)
 		}
 		for _, m := range misses {
 			s.raid.Read(p, ino.ID, m.Off, m.Len)

@@ -124,6 +124,11 @@ func (s *System) Derate(f float64) {
 // Mount attaches a compute node.
 func (s *System) Mount(node string, nic *netsim.Iface) fsapi.Client {
 	cl := &client{sys: s, nic: nic}
+	// Cache the per-mount network paths: they are fixed for the life of the
+	// mount, and a stable slice keeps the fabric's flow-class lookup
+	// allocation-free on the per-op hot path.
+	cl.writePath = []*sim.Pipe{nic.Dir(netsim.ClientToServer), s.ossUp}
+	cl.readPath = []*sim.Pipe{s.ossDown, nic.Dir(netsim.ServerToClient)}
 	var pc *cache.Cache
 	if s.cfg.ClientCacheBytes > 0 {
 		pc = cache.New(cache.Config{
@@ -146,6 +151,10 @@ type client struct {
 	sys  *System
 	nic  *netsim.Iface
 	core fsbase.ClientCore
+
+	// cached network paths (see Mount); treated as immutable.
+	writePath []*sim.Pipe
+	readPath  []*sim.Pipe
 }
 
 type backend client
@@ -167,13 +176,9 @@ func (c *client) Remove(p *sim.Proc, path string) { c.core.Remove(p, path) }
 // DropCaches implements fsapi.Client.
 func (c *client) DropCaches() { c.core.DropCaches() }
 
-func (c *client) writePipes() []*sim.Pipe {
-	return []*sim.Pipe{c.nic.Dir(netsim.ClientToServer), c.sys.ossUp}
-}
+func (c *client) writePipes() []*sim.Pipe { return c.writePath }
 
-func (c *client) readPipes() []*sim.Pipe {
-	return []*sim.Pipe{c.sys.ossDown, c.nic.Dir(netsim.ServerToClient)}
-}
+func (c *client) readPipes() []*sim.Pipe { return c.readPath }
 
 // StreamWrite implements fsapi.Client: one stripe-1 flow, capped by its
 // single OST.

@@ -7,6 +7,11 @@ import (
 // Path is the resolved network path of one I/O stream or RPC: the pipes the
 // bytes cross, a per-stream rate ceiling, and the request/response software
 // latency of the protocol stack.
+//
+// A resolved Path is immutable: backends cache Paths across operations (the
+// fabric's flow-class lookup is allocation-free only when it is handed the
+// same slice), so neither the transport nor any caller may modify Pipes in
+// place after resolution — build a new slice instead.
 type Path struct {
 	// Pipes the payload traverses, in order. For NFS transports this
 	// includes the mount's connection pipe, whose capacity is the

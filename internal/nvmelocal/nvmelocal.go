@@ -80,6 +80,7 @@ type nodeState struct {
 	nic       *netsim.Iface
 	dev       *device.Device
 	memIn     *sim.Pipe
+	memInPath []*sim.Pipe // cached {memIn}; treated as immutable
 	ns        *fsapi.Namespace
 	dirty     int64
 	lastDrain sim.Time
@@ -119,6 +120,9 @@ func (s *System) Mount(node string, nic *netsim.Iface) fsapi.Client {
 			memIn: s.fab.NewPipe(fmt.Sprintf("%s/%s/pagecache", s.cfg.Name, node), s.cfg.MemBW, 0),
 			ns:    fsapi.NewNamespace(),
 		}
+		// Stable single-pipe path for page-cache absorption: write bursts hit
+		// this on every call, so don't re-allocate the slice each time.
+		st.memInPath = []*sim.Pipe{st.memIn}
 		s.nodes[node] = st
 		s.order = append(s.order, node)
 	}
@@ -163,6 +167,12 @@ type client struct {
 	sys  *System
 	node *nodeState
 	core fsbase.ClientCore
+
+	// One-entry cache of the cross-node read path: the round-robin peer
+	// only changes while nodes are still mounting, so tag by source node
+	// and rebuild on mismatch.
+	peerSrc  *nodeState
+	peerPath []*sim.Pipe
 }
 
 type backend client
@@ -201,7 +211,7 @@ func (c *client) StreamWrite(p *sim.Proc, path string, a fsapi.Access, ioSize, t
 		absorb = 0
 	}
 	if absorb > 0 {
-		s.fab.Transfer(p, []*sim.Pipe{st.memIn}, float64(absorb), 0)
+		s.fab.Transfer(p, st.memInPath, float64(absorb), 0)
 		st.dirty += absorb
 	}
 	if rest := total - absorb; rest > 0 {
@@ -233,12 +243,16 @@ func (c *client) StreamRead(p *sim.Proc, path string, a fsapi.Access, ioSize, to
 	}
 	var path2 []*sim.Pipe
 	if src != c.node && s.cfg.Interconnect != nil {
-		link := s.cfg.Interconnect.Links()[0]
-		path2 = []*sim.Pipe{
-			src.nic.Dir(netsim.ClientToServer),
-			link.Dir(netsim.ClientToServer),
-			c.node.nic.Dir(netsim.ServerToClient),
+		if c.peerSrc != src {
+			link := s.cfg.Interconnect.Links()[0]
+			c.peerPath = []*sim.Pipe{
+				src.nic.Dir(netsim.ClientToServer),
+				link.Dir(netsim.ClientToServer),
+				c.node.nic.Dir(netsim.ServerToClient),
+			}
+			c.peerSrc = src
 		}
+		path2 = c.peerPath
 	}
 	src.dev.StreamRead(p, a, ioSize, float64(total), path2, 0)
 }

@@ -12,8 +12,21 @@ import "sort"
 // exact between solves. Accounting is opt-in because it costs O(pipes) per
 // fabric advance.
 
-// EnableAccounting turns on utilization integration for all pipes.
-func (f *Fabric) EnableAccounting() { f.accounting = true }
+// EnableAccounting turns on utilization integration for all pipes. When
+// enabled mid-run, every pipe with active flows is re-marked so the next
+// solve refreshes its allocated rate (allocations are otherwise only
+// recomputed for the dirty region).
+func (f *Fabric) EnableAccounting() {
+	f.accounting = true
+	if f.liveFlows > 0 {
+		for _, p := range f.pipes {
+			if p.nflows > 0 {
+				f.touch(p)
+			}
+		}
+		f.markDirty()
+	}
+}
 
 // Pipes returns every pipe registered on the fabric, in creation order.
 func (f *Fabric) Pipes() []*Pipe { return f.pipes }
@@ -78,15 +91,17 @@ func (p *Pipe) accrue(dt float64) {
 	p.capIntegral += p.capacity * dt
 }
 
-// recomputeAllocations refreshes every pipe's allocated rate after a
-// solve. O(flow-pipe incidences).
+// recomputeAllocations refreshes the allocated rate of every pipe in the
+// last solved region. Pipes outside the region kept their rates, so their
+// cached allocation is still exact. O(region class-pipe incidences).
 func (f *Fabric) recomputeAllocations() {
-	for _, p := range f.pipes {
+	for _, p := range f.regionPipes {
 		p.allocated = 0
 	}
-	for _, fl := range f.flows {
-		for _, p := range fl.pipes {
-			p.allocated += fl.rate
+	for _, c := range f.regionClasses {
+		total := c.rate * float64(c.count)
+		for _, p := range c.pipes {
+			p.allocated += total
 		}
 	}
 }

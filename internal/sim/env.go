@@ -56,7 +56,10 @@ func (e *Env) After(d Duration, fn func()) *EventHandle {
 type EventHandle struct{ ev *timedEvent }
 
 // Cancel prevents the event from firing. Cancelling an already-fired or
-// already-cancelled event is a no-op.
+// already-cancelled event is a no-op, and calling Cancel on a nil handle is
+// explicitly allowed — callers that keep an optional timer (e.g. the
+// fabric's completion timer before the first flow starts) may cancel it
+// unconditionally.
 func (h *EventHandle) Cancel() {
 	if h != nil && h.ev != nil {
 		h.ev.canceled = true

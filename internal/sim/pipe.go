@@ -1,8 +1,8 @@
 package sim
 
 import (
-	"fmt"
 	"math"
+	"sort"
 )
 
 // Fabric is a system of bandwidth Pipes with a global max–min fair-share
@@ -14,20 +14,50 @@ import (
 // contention effects and crossovers emerge from the topology instead of
 // being scripted.
 //
+// Two structural optimizations keep the solver off the critical path of
+// large sweeps (128 nodes × 44 ranks is 5632 concurrent flows):
+//
+//   - Flow classes: flows with an identical (pipe path, rate cap) signature
+//     are aggregated into a single flowClass with a multiplicity count. The
+//     solver's flow dimension is the number of *distinct* classes, not the
+//     number of flows; per-flow byte bookkeeping stays exact through the
+//     class work integral (see solver.go).
+//   - Scoped re-solve: a membership change re-solves only the connected
+//     component of pipes reachable from the changed flow's path. Unrelated
+//     components keep their cached allocation, so churn on one storage
+//     system never pays for the pipes of another.
+//
 // The solver is exact: it repeatedly finds the most-constrained pipe (or
-// per-flow rate cap), freezes the flows it constrains at their fair share,
-// removes that capacity, and continues until all flows have a rate.
+// per-class rate cap), freezes the classes it constrains at their fair
+// share, removes that capacity, and continues until every class has a
+// rate. All iteration is over deterministic slices in creation order —
+// never over maps — so a run is bit-for-bit reproducible.
 type Fabric struct {
-	env   *Env
-	pipes []*Pipe
-	// flows is kept in start order so that completion events fire in a
-	// deterministic order (map iteration order would leak randomness into
-	// the schedule).
-	flows []*Flow
+	env     *Env
+	pipes   []*Pipe
+	classes []*flowClass // live classes, insertion order with swap-remove
+
+	// classIndex resolves a (path, rateCap) signature to its live class.
+	classIndex map[string]*flowClass
+	keyBuf     []byte // scratch for signature construction
+
+	liveFlows int
+	flowSeq   uint64 // start-order stamp; completion events fire in seq order
 
 	lastAdvance  Time
 	solvePending bool
 	timer        *EventHandle
+
+	// dirtyPipes accumulates pipes whose membership or capacity changed
+	// since the last solve; the next solve re-allocates exactly the
+	// connected region reachable from them.
+	dirtyPipes []*Pipe
+
+	// solver scratch, reused across solves (see solver.go).
+	regionPipes   []*Pipe
+	regionClasses []*flowClass
+	reapScratch   []*Flow
+	visitGen      uint64
 
 	// accounting enables per-pipe utilization integration (accounting.go).
 	accounting bool
@@ -35,21 +65,30 @@ type Fabric struct {
 
 // NewFabric returns an empty fabric bound to env.
 func NewFabric(env *Env) *Fabric {
-	return &Fabric{env: env}
+	return &Fabric{env: env, classIndex: map[string]*flowClass{}}
 }
 
 // Pipe is a shared bandwidth resource inside a Fabric.
 type Pipe struct {
 	fabric   *Fabric
+	id       int32
 	name     string
 	capacity float64 // bytes per second
 	latency  Duration
 
-	active map[*Flow]struct{}
+	// classes crossing this pipe, in deterministic insertion order
+	// (swap-remove on class retirement keeps removal O(1) while staying
+	// reproducible). nflows is the total member-flow count across them.
+	classes []*flowClass
+	nflows  int
 
 	// scratch fields used by the solver
 	remCap   float64
-	unfrozen int
+	unfrozen int // unfrozen member flows during a solve
+
+	// scoped re-solve bookkeeping
+	dirty    bool
+	visitGen uint64
 
 	// utilization accounting (see accounting.go)
 	allocated    float64
@@ -65,10 +104,10 @@ func (f *Fabric) NewPipe(name string, bytesPerSec float64, latency Duration) *Pi
 	}
 	p := &Pipe{
 		fabric:   f,
+		id:       int32(len(f.pipes)),
 		name:     name,
 		capacity: bytesPerSec,
 		latency:  latency,
-		active:   map[*Flow]struct{}{},
 	}
 	f.pipes = append(f.pipes, p)
 	return p
@@ -86,32 +125,33 @@ func (p *Pipe) Capacity() float64 { return p.capacity }
 // Latency returns the pipe's one-way propagation latency.
 func (p *Pipe) Latency() Duration { return p.latency }
 
-// SetCapacity changes the pipe capacity and reallocates all flows. Used by
-// noise injectors and ablation sweeps.
+// SetCapacity changes the pipe capacity and reallocates the flows of the
+// pipe's connected component. Used by noise injectors and ablation sweeps.
 func (p *Pipe) SetCapacity(bytesPerSec float64) {
 	if bytesPerSec <= 0 {
 		panic("sim: pipe capacity must be positive: " + p.name)
 	}
 	p.fabric.advance()
 	p.capacity = bytesPerSec
+	p.fabric.touch(p)
 	p.fabric.markDirty()
 }
 
 // ActiveFlows returns the number of flows currently crossing the pipe.
-func (p *Pipe) ActiveFlows() int { return len(p.active) }
+func (p *Pipe) ActiveFlows() int { return p.nflows }
 
-// Flow is an in-progress transfer across a set of pipes.
+// Flow is an in-progress transfer across a set of pipes. Internally it is
+// one member of a flowClass; its own state is just the class work level at
+// which it completes.
 type Flow struct {
-	pipes     []*Pipe
-	remaining float64 // bytes left
-	rateCap   float64 // per-flow ceiling (e.g. one TCP connection); 0 = none
-	rate      float64 // current allocated rate, bytes/sec
-	done      *Event
-	frozen    bool // solver scratch
+	class  *flowClass
+	seq    uint64  // start order, used for deterministic completion events
+	target float64 // class work level (bytes per member) at which it is done
+	done   *Event
 }
 
 // Rate returns the flow's currently allocated bandwidth in bytes/sec.
-func (fl *Flow) Rate() float64 { return fl.rate }
+func (fl *Flow) Rate() float64 { return fl.class.rate }
 
 // PathLatency returns the sum of one-way latencies along pipes.
 func PathLatency(pipes []*Pipe) Duration {
@@ -148,16 +188,20 @@ func (f *Fabric) StartFlow(pipes []*Pipe, bytes float64, rateCap float64) *Flow 
 		panic("sim: flow must cross at least one pipe")
 	}
 	f.advance()
+	c := f.classFor(pipes, rateCap)
 	fl := &Flow{
-		pipes:     pipes,
-		remaining: bytes,
-		rateCap:   rateCap,
-		done:      NewEvent(f.env),
+		class:  c,
+		seq:    f.flowSeq,
+		target: c.work + bytes,
+		done:   NewEvent(f.env),
 	}
-	f.flows = append(f.flows, fl)
-	for _, pp := range pipes {
-		pp.active[fl] = struct{}{}
+	f.flowSeq++
+	c.pushMember(fl)
+	for _, pp := range c.pipes {
+		pp.nflows++
+		f.touch(pp)
 	}
+	f.liveFlows++
 	f.markDirty()
 	return fl
 }
@@ -165,8 +209,9 @@ func (f *Fabric) StartFlow(pipes []*Pipe, bytes float64, rateCap float64) *Flow 
 // Done exposes the completion event of a flow started with StartFlow.
 func (fl *Flow) Done() *Event { return fl.done }
 
-// advance accrues progress on every active flow at the rates computed by the
-// last solve. It must be called before any state change.
+// advance accrues progress on every active class at the rates computed by
+// the last solve. It must be called before any state change. Cost is
+// O(classes), independent of the flow count.
 func (f *Fabric) advance() {
 	dt := f.env.now.Sub(f.lastAdvance).Seconds()
 	f.lastAdvance = f.env.now
@@ -178,14 +223,17 @@ func (f *Fabric) advance() {
 			p.accrue(dt)
 		}
 	}
-	for _, fl := range f.flows {
-		fl.remaining -= fl.rate * dt
-		// Absorb float rounding: at simulated rates of ~1e11 B/s the
-		// accumulated error is far below a byte, and no modeled transfer is
-		// smaller than a kilobyte.
-		if fl.remaining < 1e-3 {
-			fl.remaining = 0
-		}
+	for _, c := range f.classes {
+		c.work += c.rate * dt
+	}
+}
+
+// touch marks a pipe's allocation as stale, scheduling its connected
+// component for the next solve.
+func (f *Fabric) touch(p *Pipe) {
+	if !p.dirty {
+		p.dirty = true
+		f.dirtyPipes = append(f.dirtyPipes, p)
 	}
 }
 
@@ -198,131 +246,88 @@ func (f *Fabric) markDirty() {
 	f.solvePending = true
 	f.env.Schedule(f.env.now, func() {
 		f.solvePending = false
-		f.advance()
-		f.reapFinished()
-		f.solve()
-		if f.accounting {
-			f.recomputeAllocations()
-		}
-		f.scheduleNextCompletion()
+		f.step()
 	})
 }
 
-// reapFinished completes flows whose byte counts have reached zero, firing
-// their done events in flow-start order.
-func (f *Fabric) reapFinished() {
-	live := f.flows[:0]
-	var finished []*Flow
-	for _, fl := range f.flows {
-		if fl.remaining <= 0 {
-			finished = append(finished, fl)
-			for _, pp := range fl.pipes {
-				delete(pp.active, fl)
-			}
-		} else {
-			live = append(live, fl)
-		}
+// step is the fabric's per-event pipeline: integrate progress, complete
+// finished flows, re-solve the dirty region, and re-arm the completion
+// timer.
+func (f *Fabric) step() {
+	f.advance()
+	f.reapFinished()
+	f.solve()
+	if f.accounting {
+		f.recomputeAllocations()
 	}
-	f.flows = live
-	for _, fl := range finished {
-		fl.done.Fire()
-	}
+	f.scheduleNextCompletion()
 }
 
-// solve computes the exact max–min fair allocation by progressive filling.
-func (f *Fabric) solve() {
-	if len(f.flows) == 0 {
+// completionSlack absorbs float rounding in the byte accounting: at
+// simulated rates of ~1e11 B/s the accumulated error is far below a byte,
+// and no modeled transfer is smaller than a kilobyte, so a flow within
+// completionSlack bytes of its target is complete.
+const completionSlack = 1e-3
+
+// reapFinished completes flows whose byte counts have reached their class
+// work target, firing their done events in flow-start order. Only classes
+// are scanned, never individual flows.
+func (f *Fabric) reapFinished() {
+	if f.liveFlows == 0 {
 		return
 	}
-	for _, p := range f.pipes {
-		p.remCap = p.capacity
-		p.unfrozen = 0
-	}
-	unfrozenTotal := 0
-	for _, fl := range f.flows {
-		fl.frozen = false
-		fl.rate = 0
-		unfrozenTotal++
-		for _, p := range fl.pipes {
-			p.unfrozen++
+	reaped := f.reapScratch[:0]
+	for _, c := range f.classes {
+		for len(c.members) > 0 && c.members[0].target-c.work < completionSlack {
+			reaped = append(reaped, c.popMember())
 		}
 	}
-	for unfrozenTotal > 0 {
-		// The binding constraint is either the pipe with the smallest fair
-		// share among unfrozen flows, or an individual flow's rate cap below
-		// every pipe share on its path.
-		share := math.Inf(1)
-		for _, p := range f.pipes {
-			if p.unfrozen == 0 {
-				continue
-			}
-			if s := p.remCap / float64(p.unfrozen); s < share {
-				share = s
-			}
+	if len(reaped) == 0 {
+		f.reapScratch = reaped
+		return
+	}
+	for _, fl := range reaped {
+		c := fl.class
+		c.count--
+		for _, pp := range c.pipes {
+			pp.nflows--
+			f.touch(pp)
 		}
-		progressed := false
-		// First freeze flows whose own cap binds below the global minimum
-		// share: they cannot use their full fair allocation anywhere.
-		for _, fl := range f.flows {
-			if fl.frozen || fl.rateCap <= 0 || fl.rateCap > share {
-				continue
-			}
-			f.freeze(fl, fl.rateCap)
-			unfrozenTotal--
-			progressed = true
-		}
-		if progressed {
-			continue // shares changed; recompute
-		}
-		// Otherwise freeze all flows crossing a binding pipe at the share.
-		for _, p := range f.pipes {
-			if p.unfrozen == 0 {
-				continue
-			}
-			if p.remCap/float64(p.unfrozen) > share*(1+1e-12) {
-				continue
-			}
-			for fl := range p.active {
-				if fl.frozen {
-					continue
-				}
-				f.freeze(fl, share)
-				unfrozenTotal--
-				progressed = true
-			}
-		}
-		if !progressed {
-			panic("sim: fair-share solver failed to progress")
+		if c.count == 0 {
+			f.retireClass(c)
 		}
 	}
-}
-
-func (f *Fabric) freeze(fl *Flow, rate float64) {
-	fl.frozen = true
-	fl.rate = rate
-	for _, p := range fl.pipes {
-		p.remCap -= rate
-		if p.remCap < 0 {
-			p.remCap = 0
-		}
-		p.unfrozen--
+	f.liveFlows -= len(reaped)
+	// Fire completions in flow-start order: the seed implementation kept a
+	// global start-ordered flow list, and waiter wake-up order is part of
+	// the deterministic schedule.
+	sort.Slice(reaped, func(i, j int) bool { return reaped[i].seq < reaped[j].seq })
+	for _, fl := range reaped {
+		fl.done.Fire()
 	}
+	f.reapScratch = reaped[:0]
 }
 
 // scheduleNextCompletion arms the fabric timer for the earliest flow finish
-// under the current allocation.
+// under the current allocation. The scan is over classes: each class tracks
+// its earliest-finishing member in a heap, so the cost is O(classes)
+// instead of O(flows).
 func (f *Fabric) scheduleNextCompletion() {
-	f.timer.Cancel()
-	f.timer = nil
-	if len(f.flows) == 0 {
+	// Cancel is documented as a nil-receiver-safe no-op on EventHandle, but
+	// guard explicitly: the very first arm happens before any timer exists.
+	if f.timer != nil {
+		f.timer.Cancel()
+		f.timer = nil
+	}
+	if f.liveFlows == 0 {
 		return
 	}
 	earliest := math.Inf(1)
-	for _, fl := range f.flows {
-		if fl.rate <= 0 {
-			panic(fmt.Sprintf("sim: flow allocated zero rate (pipes %v)", pipeNames(fl.pipes)))
+	for _, c := range f.classes {
+		if c.rate <= 0 {
+			panic("sim: flow class allocated zero rate after solve: " + c.describe())
 		}
-		if t := fl.remaining / fl.rate; t < earliest {
+		if t := (c.members[0].target - c.work) / c.rate; t < earliest {
 			earliest = t
 		}
 	}
@@ -332,15 +337,7 @@ func (f *Fabric) scheduleNextCompletion() {
 	if ns < 0 {
 		ns = 0
 	}
-	f.timer = f.env.Schedule(f.env.now+ns, func() {
-		f.advance()
-		f.reapFinished()
-		f.solve()
-		if f.accounting {
-			f.recomputeAllocations()
-		}
-		f.scheduleNextCompletion()
-	})
+	f.timer = f.env.Schedule(f.env.now+ns, f.step)
 }
 
 func pipeNames(pipes []*Pipe) []string {

@@ -1,0 +1,285 @@
+package sim
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// flowClass aggregates all live flows that share an identical signature:
+// the same ordered pipe path and the same per-flow rate cap. Max–min fair
+// sharing gives such flows identical rates at every instant, so the solver
+// treats the whole group as one variable with a multiplicity count — the
+// 5632 IOR rank streams of a 128-node Figure 2a point collapse into a
+// handful of classes.
+//
+// Per-flow byte accounting stays exact through the work integral: work is
+// the number of bytes served to *each* member since the class was created.
+// A flow of S bytes joining when the integral is W completes when work
+// reaches W+S; members therefore complete in target order, tracked by a
+// min-heap.
+type flowClass struct {
+	pipes   []*Pipe
+	slots   []int // index of this class in pipes[i].classes (backrefs)
+	rateCap float64
+	key     string
+	index   int // position in fabric.classes (backref for swap-remove)
+
+	count int     // live member flows
+	rate  float64 // per-flow allocated rate from the last solve, B/s
+	work  float64 // bytes served per member since class creation
+
+	// members is a min-heap of live flows ordered by (target, seq).
+	members []*Flow
+
+	// solver scratch
+	frozen   bool
+	visitGen uint64
+}
+
+// describe names the class for panic messages.
+func (c *flowClass) describe() string {
+	return fmt.Sprintf("%d flow(s) cap=%g over pipes [%s]",
+		c.count, c.rateCap, strings.Join(pipeNames(c.pipes), " "))
+}
+
+// classFor returns the live class for (pipes, rateCap), creating and
+// registering it if none exists. The signature key is the pipe id sequence
+// plus the cap bits; lookup is allocation-free on the hit path.
+func (f *Fabric) classFor(pipes []*Pipe, rateCap float64) *flowClass {
+	buf := f.keyBuf[:0]
+	for _, p := range pipes {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(p.id))
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(rateCap))
+	f.keyBuf = buf
+	if c, ok := f.classIndex[string(buf)]; ok {
+		return c
+	}
+	c := &flowClass{
+		pipes:   append([]*Pipe(nil), pipes...),
+		slots:   make([]int, len(pipes)),
+		rateCap: rateCap,
+		key:     string(buf),
+		index:   len(f.classes),
+	}
+	for i, p := range c.pipes {
+		c.slots[i] = len(p.classes)
+		p.classes = append(p.classes, c)
+	}
+	f.classes = append(f.classes, c)
+	f.classIndex[c.key] = c
+	return c
+}
+
+// retireClass unregisters an empty class from its pipes, the class list and
+// the signature index. Swap-remove keeps the deterministic order property:
+// the resulting order depends only on the (deterministic) sequence of
+// insertions and removals, never on map iteration.
+func (f *Fabric) retireClass(c *flowClass) {
+	for i, p := range c.pipes {
+		slot := c.slots[i]
+		last := len(p.classes) - 1
+		moved := p.classes[last]
+		p.classes[slot] = moved
+		p.classes[last] = nil
+		p.classes = p.classes[:last]
+		if slot != last {
+			// Backpatch the moved class's slot for this pipe. A class may
+			// cross the same pipe more than once; fix the slot that pointed
+			// at the vacated position.
+			for j, q := range moved.pipes {
+				if q == p && moved.slots[j] == last {
+					moved.slots[j] = slot
+					break
+				}
+			}
+		}
+	}
+	last := len(f.classes) - 1
+	moved := f.classes[last]
+	f.classes[c.index] = moved
+	moved.index = c.index
+	f.classes[last] = nil
+	f.classes = f.classes[:last]
+	delete(f.classIndex, c.key)
+}
+
+// pushMember adds a flow to the class completion heap.
+func (c *flowClass) pushMember(fl *Flow) {
+	c.count++
+	c.members = append(c.members, fl)
+	i := len(c.members) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !memberLess(c.members[i], c.members[parent]) {
+			break
+		}
+		c.members[i], c.members[parent] = c.members[parent], c.members[i]
+		i = parent
+	}
+}
+
+// popMember removes and returns the earliest-finishing member.
+func (c *flowClass) popMember() *Flow {
+	top := c.members[0]
+	last := len(c.members) - 1
+	c.members[0] = c.members[last]
+	c.members[last] = nil
+	c.members = c.members[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < last && memberLess(c.members[l], c.members[smallest]) {
+			smallest = l
+		}
+		if r < last && memberLess(c.members[r], c.members[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		c.members[i], c.members[smallest] = c.members[smallest], c.members[i]
+		i = smallest
+	}
+	return top
+}
+
+// memberLess orders members by completion target, breaking ties by start
+// order so same-instant completions fire deterministically.
+func memberLess(a, b *Flow) bool {
+	if a.target != b.target {
+		return a.target < b.target
+	}
+	return a.seq < b.seq
+}
+
+// gatherRegion expands the dirty pipe set into the full connected region
+// whose allocation may have changed: starting from every dirty pipe, it
+// alternates pipe→classes→pipes until closed. Pipes and classes outside
+// the region provably keep their previous rates (max–min fair allocation
+// decomposes by connected component), so their cached allocation stands.
+//
+// The traversal order is deterministic: dirty pipes in marking order,
+// classes in each pipe's insertion order.
+func (f *Fabric) gatherRegion() {
+	f.visitGen++
+	gen := f.visitGen
+	rp := f.regionPipes[:0]
+	rc := f.regionClasses[:0]
+	for _, p := range f.dirtyPipes {
+		if p.visitGen != gen {
+			p.visitGen = gen
+			rp = append(rp, p)
+		}
+		p.dirty = false
+	}
+	f.dirtyPipes = f.dirtyPipes[:0]
+	for i := 0; i < len(rp); i++ {
+		for _, c := range rp[i].classes {
+			if c.visitGen == gen {
+				continue
+			}
+			c.visitGen = gen
+			rc = append(rc, c)
+			for _, q := range c.pipes {
+				if q.visitGen != gen {
+					q.visitGen = gen
+					rp = append(rp, q)
+				}
+			}
+		}
+	}
+	f.regionPipes = rp
+	f.regionClasses = rc
+}
+
+// solve computes the exact max–min fair allocation of the dirty region by
+// progressive filling over flow classes. Cost per round is O(region pipes +
+// region classes); the number of member flows only enters through O(1)
+// multiplicity arithmetic.
+func (f *Fabric) solve() {
+	if len(f.dirtyPipes) == 0 {
+		return
+	}
+	f.gatherRegion()
+	if len(f.regionClasses) == 0 {
+		return
+	}
+	unfrozenFlows := 0
+	for _, p := range f.regionPipes {
+		p.remCap = p.capacity
+		p.unfrozen = 0
+	}
+	for _, c := range f.regionClasses {
+		c.frozen = false
+		c.rate = 0
+		unfrozenFlows += c.count
+		for _, p := range c.pipes {
+			p.unfrozen += c.count
+		}
+	}
+	for unfrozenFlows > 0 {
+		// The binding constraint is either the pipe with the smallest fair
+		// share among unfrozen flows, or a class rate cap below every pipe
+		// share on its path.
+		share := math.Inf(1)
+		for _, p := range f.regionPipes {
+			if p.unfrozen == 0 {
+				continue
+			}
+			if s := p.remCap / float64(p.unfrozen); s < share {
+				share = s
+			}
+		}
+		progressed := false
+		// First freeze classes whose own cap binds below the global minimum
+		// share: they cannot use their full fair allocation anywhere.
+		for _, c := range f.regionClasses {
+			if c.frozen || c.rateCap <= 0 || c.rateCap > share {
+				continue
+			}
+			f.freeze(c, c.rateCap)
+			unfrozenFlows -= c.count
+			progressed = true
+		}
+		if progressed {
+			continue // shares changed; recompute
+		}
+		// Otherwise freeze all classes crossing a binding pipe at the share.
+		for _, p := range f.regionPipes {
+			if p.unfrozen == 0 {
+				continue
+			}
+			if p.remCap/float64(p.unfrozen) > share*(1+1e-12) {
+				continue
+			}
+			for _, c := range p.classes {
+				if c.frozen {
+					continue
+				}
+				f.freeze(c, share)
+				unfrozenFlows -= c.count
+				progressed = true
+			}
+		}
+		if !progressed {
+			panic("sim: fair-share solver failed to progress")
+		}
+	}
+}
+
+func (f *Fabric) freeze(c *flowClass, rate float64) {
+	c.frozen = true
+	c.rate = rate
+	take := rate * float64(c.count)
+	for _, p := range c.pipes {
+		p.remCap -= take
+		if p.remCap < 0 {
+			p.remCap = 0
+		}
+		p.unfrozen -= c.count
+	}
+}

@@ -1,0 +1,54 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// buildSolverBench constructs a fabric with `classes` distinct flow
+// signatures (one per-class NIC pipe feeding a shared backbone) and starts
+// `flows` long-lived transfers spread round-robin across the classes.
+// Flow sizes are staggered so completions arrive one at a time: every
+// completion is a membership change that re-runs the solver, which makes
+// the benchmark measure the per-churn solve cost the experiments pay.
+func buildSolverBench(classes, flows int) *Env {
+	e := NewEnv()
+	fab := NewFabric(e)
+	backbone := fab.NewPipe("backbone", 1e12, 0)
+	nics := make([]*Pipe, classes)
+	for i := range nics {
+		nics[i] = fab.NewPipe(fmt.Sprintf("nic%d", i), 1e11, 0)
+	}
+	for i := 0; i < flows; i++ {
+		nic := nics[i%classes]
+		bytes := float64(i+1) * 1e6
+		i := i
+		e.Go(fmt.Sprintf("f%d", i), func(p *Proc) {
+			fab.Transfer(p, []*Pipe{nic, backbone}, bytes, 0)
+		})
+	}
+	return e
+}
+
+// BenchmarkFabricSolver measures end-to-end simulation cost of churn-heavy
+// fair-share solving across class-count × flow-count combinations. The
+// 1-class columns model Fig. 2a's identical IOR rank streams; 64 classes
+// approximates a heterogeneous DLIO mix.
+func BenchmarkFabricSolver(b *testing.B) {
+	for _, classes := range []int{1, 8, 64} {
+		for _, flows := range []int{100, 1000, 4000, 10000} {
+			if flows < classes {
+				continue
+			}
+			b.Run(fmt.Sprintf("classes=%d/flows=%d", classes, flows), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					e := buildSolverBench(classes, flows)
+					b.StartTimer()
+					e.Run()
+				}
+			})
+		}
+	}
+}

@@ -174,6 +174,12 @@ type client struct {
 	sys  *System
 	node *nodeState
 	idx  int
+
+	// Per-owner interconnect paths, cached on first use (chunk sweeps hit
+	// the same few owners over and over); indexed by owner node, one slice
+	// per direction. Treated as immutable once built.
+	toOwner   map[*nodeState][]*sim.Pipe
+	fromOwner map[*nodeState][]*sim.Pipe
 }
 
 // FSName implements fsapi.Client.
@@ -211,21 +217,38 @@ func (c *client) Open(p *sim.Proc, path string, truncate bool) fsapi.File {
 }
 
 // remotePath returns the interconnect pipes from the owner node back to
-// this client (reads) or out to the owner (writes).
+// this client (reads) or out to the owner (writes), cached per owner.
 func (c *client) remotePath(owner *nodeState, toOwner bool) []*sim.Pipe {
-	link := c.sys.cfg.Interconnect.Links()[0]
+	cache := c.fromOwner
 	if toOwner {
-		return []*sim.Pipe{
+		if c.toOwner == nil {
+			c.toOwner = map[*nodeState][]*sim.Pipe{}
+		}
+		cache = c.toOwner
+	} else if cache == nil {
+		c.fromOwner = map[*nodeState][]*sim.Pipe{}
+		cache = c.fromOwner
+	}
+	if path, ok := cache[owner]; ok {
+		return path
+	}
+	link := c.sys.cfg.Interconnect.Links()[0]
+	var path []*sim.Pipe
+	if toOwner {
+		path = []*sim.Pipe{
 			c.node.nic.Dir(netsim.ClientToServer),
 			link.Dir(netsim.ClientToServer),
 			owner.nic.Dir(netsim.ServerToClient),
 		}
+	} else {
+		path = []*sim.Pipe{
+			owner.nic.Dir(netsim.ClientToServer),
+			link.Dir(netsim.ClientToServer),
+			c.node.nic.Dir(netsim.ServerToClient),
+		}
 	}
-	return []*sim.Pipe{
-		owner.nic.Dir(netsim.ClientToServer),
-		link.Dir(netsim.ClientToServer),
-		c.node.nic.Dir(netsim.ServerToClient),
-	}
+	cache[owner] = path
+	return path
 }
 
 // chunkIO serves one op-level chunk access on its owner.

@@ -279,6 +279,15 @@ type client struct {
 	nic   *netsim.Iface
 	cnode int
 	core  fsbase.ClientCore
+
+	// Resolved paths are cached per mount: op-level workloads resolve the
+	// path on every operation, and a stable pipe slice keeps the fabric's
+	// flow-class lookup allocation-free. pathCNode tags which CNode the
+	// cache was built for — FailCNode re-pins clients by mutating cnode, so
+	// a stale tag forces a rebuild (op-level failover stays seamless).
+	pathCNode   int
+	cachedWrite netsim.Path
+	cachedRead  netsim.Path
 }
 
 type backend client
@@ -300,42 +309,53 @@ func (c *client) Remove(p *sim.Proc, path string) { c.core.Remove(p, path) }
 // DropCaches implements fsapi.Client.
 func (c *client) DropCaches() { c.core.DropCaches() }
 
-// writePath resolves the pipes of a client→SCM write stream.
+// writePath resolves the pipes of a client→SCM write stream (cached per
+// mount until a CNode failover re-pins the client).
 func (c *client) writePath() netsim.Path {
+	if c.pathCNode != c.cnode || c.cachedWrite.Pipes == nil {
+		c.rebuildPaths()
+	}
+	return c.cachedWrite
+}
+
+// readPath resolves the pipes of a QLC→client read stream (cached like
+// writePath).
+func (c *client) readPath() netsim.Path {
+	if c.pathCNode != c.cnode || c.cachedRead.Pipes == nil {
+		c.rebuildPaths()
+	}
+	return c.cachedRead
+}
+
+// rebuildPaths re-resolves both directions through the transport for the
+// client's current CNode assignment.
+func (c *client) rebuildPaths() {
 	s := c.sys
-	var server []*sim.Pipe
+	var up, down []*sim.Pipe
 	if s.cfg.SpreadAcrossCNodes {
-		server = []*sim.Pipe{
+		up = []*sim.Pipe{
 			s.cnodePool.Dir(netsim.ClientToServer),
 			s.reducePool,
 			s.fabricUp,
 		}
-	} else {
-		server = []*sim.Pipe{
-			s.cnodeNIC[c.cnode].Dir(netsim.ClientToServer),
-			s.reduce[c.cnode],
-			s.fabricUp,
-		}
-	}
-	return s.cfg.Transport.Path(c.nic, netsim.ClientToServer, server)
-}
-
-// readPath resolves the pipes of a QLC→client read stream.
-func (c *client) readPath() netsim.Path {
-	s := c.sys
-	var server []*sim.Pipe
-	if s.cfg.SpreadAcrossCNodes {
-		server = []*sim.Pipe{
+		down = []*sim.Pipe{
 			s.cnodePool.Dir(netsim.ServerToClient),
 			s.fabricDown,
 		}
 	} else {
-		server = []*sim.Pipe{
+		up = []*sim.Pipe{
+			s.cnodeNIC[c.cnode].Dir(netsim.ClientToServer),
+			s.reduce[c.cnode],
+			s.fabricUp,
+		}
+		down = []*sim.Pipe{
 			s.cnodeNIC[c.cnode].Dir(netsim.ServerToClient),
 			s.fabricDown,
 		}
 	}
-	return s.cfg.Transport.Path(c.nic, netsim.ServerToClient, server)
+	c.cachedWrite = s.cfg.Transport.Path(c.nic, netsim.ClientToServer, up)
+	c.cachedRead = s.cfg.Transport.Path(c.nic, netsim.ServerToClient, down)
+	c.pathCNode = c.cnode
 }
 
 // StreamWrite implements fsapi.Client: the whole phase is one fair-shared
