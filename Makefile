@@ -1,13 +1,15 @@
 # Development targets. `make check` is the smoke gate: vet + build + the
-# race-enabled tests of the packages the fabric solver rewrite touches +
-# one iteration of the solver micro-benchmarks (catches benchmark rot
-# without paying for stable timings).
+# race-enabled tests of the packages the fabric solver rewrite and the
+# fault-injection engine touch + one iteration of the solver
+# micro-benchmarks (catches benchmark rot without paying for stable
+# timings) + a 10s fuzz pass over each input parser.
 
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: check vet build test race bench-smoke bench test-all
+.PHONY: check vet build test race bench-smoke fuzz-smoke bench test-all
 
-check: vet build race bench-smoke
+check: vet build race bench-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -19,10 +21,18 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/sim/... ./internal/experiments/...
+	$(GO) test -race ./internal/sim/... ./internal/experiments/... \
+		./internal/faults/... ./internal/vast/...
 
 bench-smoke:
 	$(GO) test ./internal/sim/ -run XXX -bench BenchmarkFabricSolver -benchtime=1x
+
+# Each parser gets $(FUZZTIME) of coverage-guided fuzzing. Go allows one
+# -fuzz target per invocation, so this is three short runs.
+fuzz-smoke:
+	$(GO) test ./internal/units -run XXX -fuzz FuzzParseSize -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/units -run XXX -fuzz FuzzParseDuration -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/faults -run XXX -fuzz FuzzSchedule -fuzztime $(FUZZTIME)
 
 # Full solver benchmark grid with stable-ish timings.
 bench:

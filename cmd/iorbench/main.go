@@ -17,7 +17,9 @@ import (
 
 	storagesim "storagesim"
 	"storagesim/internal/experiments"
+	"storagesim/internal/faults"
 	"storagesim/internal/ior"
+	"storagesim/internal/sim"
 	"storagesim/internal/units"
 	"storagesim/internal/workloads"
 )
@@ -38,7 +40,20 @@ func main() {
 	reps := flag.Int("reps", 1, "repetitions")
 	seed := flag.Uint64("seed", 42, "seed")
 	bottlenecks := flag.Int("bottlenecks", 0, "report the N busiest pipes after the run (what limited the number)")
+	faultsFile := flag.String("faults", "", "JSON fault schedule to inject during the run (see internal/faults)")
 	flag.Parse()
+
+	var sched faults.Schedule
+	if *faultsFile != "" {
+		data, err := os.ReadFile(*faultsFile)
+		if err != nil {
+			fail(err)
+		}
+		sched, err = faults.ParseSchedule(data)
+		if err != nil {
+			fail(err)
+		}
+	}
 
 	var cfg storagesim.IORConfig
 	if *app != "" {
@@ -79,13 +94,30 @@ func main() {
 
 	for rep := 0; rep < *reps; rep++ {
 		cfg.Seed = *seed + uint64(rep)
-		res, top, err := experiments.RunIORWithBottlenecks(*machine, experiments.FS(strings.ToLower(*fs)),
-			*nodes, cfg, *bottlenecks)
+		var (
+			res     ior.Result
+			top     []sim.PipeUtil
+			applied []faults.Applied
+			err     error
+		)
+		if *faultsFile != "" {
+			if *bottlenecks > 0 {
+				fail(fmt.Errorf("-faults and -bottlenecks cannot be combined"))
+			}
+			res, applied, err = experiments.RunIORWithFaults(*machine, experiments.FS(strings.ToLower(*fs)),
+				*nodes, cfg, sched)
+		} else {
+			res, top, err = experiments.RunIORWithBottlenecks(*machine, experiments.FS(strings.ToLower(*fs)),
+				*nodes, cfg, *bottlenecks)
+		}
 		if err != nil {
 			fail(err)
 		}
 		fmt.Printf("rep=%d machine=%s fs=%s nodes=%d ppn=%d workload=%s fsync=%v shared=%v\n",
 			rep, *machine, *fs, *nodes, cfg.ProcsPerNode, cfg.Workload, cfg.Fsync, cfg.SharedFile)
+		for _, a := range applied {
+			fmt.Printf("  fault: %v\n", a)
+		}
 		fmt.Printf("  write: %10s aggregate (%v)\n", units.BPS(res.WriteBW), res.WriteTime)
 		if cfg.Workload != ior.Scientific {
 			fmt.Printf("  read:  %10s aggregate (%v)\n", units.BPS(res.ReadBW), res.ReadTime)

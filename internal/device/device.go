@@ -133,6 +133,10 @@ type Device struct {
 	readPath  []*sim.Pipe
 	writePath []*sim.Pipe
 
+	// health is the current fault derate factor, remembered so service
+	// pipes created lazily mid-fault inherit it (see StreamPipes).
+	health float64
+
 	ops   int64
 	seeks int64
 }
@@ -157,6 +161,7 @@ func New(env *sim.Env, fab *sim.Fabric, spec Spec) (*Device, error) {
 		qd:         sim.NewResource(env, spec.Name+"/qd", spec.QueueDepth),
 		nextOffset: map[uint64]int64{},
 		service:    map[serviceKey][]*sim.Pipe{},
+		health:     1,
 	}
 	d.readPath = []*sim.Pipe{d.readPipe}
 	d.writePath = []*sim.Pipe{d.writePipe}
@@ -189,6 +194,19 @@ func (d *Device) Derate(f float64) {
 	d.writePipe.SetCapacity(d.writePipe.Capacity() * f)
 	for _, svc := range d.serviceList {
 		svc.SetCapacity(svc.Capacity() * f)
+	}
+}
+
+// SetHealthFactor applies an absolute fault derate (1 = healthy, 0 =
+// parked) to the media pipes and every derived service pipe — the SSD-wear
+// and device-failure handle of the fault injector. serviceList is iterated
+// (never the service map) so the dirty-pipe order stays deterministic.
+func (d *Device) SetHealthFactor(f float64) {
+	d.health = f
+	d.readPipe.SetHealthFactor(f)
+	d.writePipe.SetHealthFactor(f)
+	for _, svc := range d.serviceList {
+		svc.SetHealthFactor(f)
 	}
 }
 
@@ -320,6 +338,9 @@ func (d *Device) StreamPipes(a Access, write bool, ioSize int64) []*sim.Pipe {
 	if !ok {
 		name := fmt.Sprintf("%s/svc-%s-%s-%d", d.spec.Name, a, rw(write), ioSize)
 		svc := d.fab.NewPipe(name, eff, 0)
+		if d.health != 1 {
+			svc.SetHealthFactor(d.health)
+		}
 		d.serviceList = append(d.serviceList, svc)
 		path = []*sim.Pipe{svc, media}
 		d.service[key] = path

@@ -63,3 +63,14 @@ func TestGoldenConsistencyQuick(t *testing.T) {
 	}
 	goldenCompare(t, "consistency_quick.golden", tab.Render())
 }
+
+// TestGoldenDegradedQuick pins the degraded-mode sweep: fault delivery
+// through the event calendar is part of the deterministic schedule, so a
+// seeded degraded run must reproduce the same bytes on every machine.
+func TestGoldenDegradedQuick(t *testing.T) {
+	p, err := DegradedSweep(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenCompare(t, "degraded_quick.golden", p.Render())
+}

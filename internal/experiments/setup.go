@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"storagesim/internal/cluster"
+	"storagesim/internal/faults"
 	"storagesim/internal/fsapi"
 	"storagesim/internal/sim"
 	"storagesim/internal/vast"
@@ -35,6 +36,9 @@ type testbed struct {
 	// vast holds the VAST system when the testbed is a VAST deployment
 	// (failover and staging studies need the concrete type).
 	vast *vast.System
+	// target is the deployment as a fault-injection target (every backend
+	// implements faults.Target).
+	target faults.Target
 }
 
 // buildTestbed instantiates machine+fs with n nodes. mutateVAST, when
@@ -69,39 +73,47 @@ func buildTestbed(machine string, fs FS, n int, mutateVAST func(*vast.Config)) (
 		mountAll(func(name string, i int) fsapi.Client { return sys.Mount(name, cl.Node(i).NIC) })
 		tb.derate = sys.Derate
 		tb.vast = sys
+		tb.target = sys
 	case fs == VAST && machine == "Lassen":
 		sys := cluster.VASTOnLassen(cl)
 		mountAll(func(name string, i int) fsapi.Client { return sys.Mount(name, cl.Node(i).NIC) })
 		tb.derate = sys.Derate
 		tb.vast = sys
+		tb.target = sys
 	case fs == VAST && machine == "Ruby":
 		sys := cluster.VASTOnRuby(cl)
 		mountAll(func(name string, i int) fsapi.Client { return sys.Mount(name, cl.Node(i).NIC) })
 		tb.derate = sys.Derate
 		tb.vast = sys
+		tb.target = sys
 	case fs == VAST && machine == "Quartz":
 		sys := cluster.VASTOnQuartz(cl)
 		mountAll(func(name string, i int) fsapi.Client { return sys.Mount(name, cl.Node(i).NIC) })
 		tb.derate = sys.Derate
 		tb.vast = sys
+		tb.target = sys
 	case fs == GPFS && machine == "Lassen":
 		sys := cluster.GPFSOnLassen(cl)
 		mountAll(func(name string, i int) fsapi.Client { return sys.Mount(name, cl.Node(i).NIC) })
 		tb.derate = sys.Derate
 		tb.shared = true
+		tb.target = sys
 	case fs == Lustre && (machine == "Ruby" || machine == "Quartz"):
 		sys := cluster.LustreOn(cl)
 		mountAll(func(name string, i int) fsapi.Client { return sys.Mount(name, cl.Node(i).NIC) })
 		tb.derate = sys.Derate
 		tb.shared = true
+		tb.target = sys
 	case fs == NVMe && machine == "Wombat":
 		sys := cluster.NVMeOnWombat(cl)
 		mountAll(func(name string, i int) fsapi.Client { return sys.Mount(name, cl.Node(i).NIC) })
 		tb.derate = func(float64) {} // node-local: nobody else contends
+		tb.target = sys
 	case fs == UnifyFS && machine == "Wombat":
 		sys := cluster.UnifyFSOnWombat(cl)
 		mountAll(func(name string, i int) fsapi.Client { return sys.Mount(name, cl.Node(i).NIC) })
 		tb.derate = func(float64) {} // job-private burst buffer
+		tb.target = sys
 	default:
 		return nil, fmt.Errorf("experiments: no deployment of %s on %s", fs, machine)
 	}

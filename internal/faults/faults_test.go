@@ -1,0 +1,191 @@
+package faults
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"storagesim/internal/sim"
+)
+
+// fakeTarget records the calls delivered to it.
+type fakeTarget struct {
+	servers int
+	calls   []string
+}
+
+func (f *fakeTarget) FaultServers() int        { return f.servers }
+func (f *fakeTarget) FailServer(i int)         { f.calls = append(f.calls, "fail", itoa(i)) }
+func (f *fakeTarget) RecoverServer(i int)      { f.calls = append(f.calls, "recover", itoa(i)) }
+func (f *fakeTarget) SetLinkHealth(v float64)  { f.calls = append(f.calls, "link", ftoa(v)) }
+func (f *fakeTarget) SetMediaHealth(v float64) { f.calls = append(f.calls, "media", ftoa(v)) }
+
+func itoa(i int) string     { return string(rune('0' + i)) }
+func ftoa(v float64) string { return string(rune('0' + int(v*10))) }
+
+func TestParseSchedule(t *testing.T) {
+	data := []byte(`{"events": [
+		{"at": "10ms", "kind": "server-fail", "target": "vast", "index": 0},
+		{"at": "40ms", "kind": "server-recover", "target": "vast", "index": 0},
+		{"at": "5ms", "kind": "link-derate", "factor": 0.5},
+		{"at": "1.5", "kind": "media-derate", "factor": 0.8},
+		{"at": "2s", "kind": "link-restore"}
+	]}`)
+	s, err := ParseSchedule(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Events) != 5 {
+		t.Fatalf("parsed %d events, want 5", len(s.Events))
+	}
+	if s.Events[0].At != sim.Duration(10*time.Millisecond) || s.Events[0].Index != 0 {
+		t.Fatalf("event 0 parsed wrong: %+v", s.Events[0])
+	}
+	// Bare numbers are seconds.
+	if s.Events[3].At != sim.Duration(1500*time.Millisecond) {
+		t.Fatalf("bare-seconds offset parsed as %v", s.Events[3].At)
+	}
+}
+
+func TestParseScheduleRejects(t *testing.T) {
+	cases := map[string]string{
+		"unknown kind":      `{"events":[{"at":"1s","kind":"server-melt","index":0}]}`,
+		"missing index":     `{"events":[{"at":"1s","kind":"server-fail"}]}`,
+		"factor on fail":    `{"events":[{"at":"1s","kind":"server-fail","index":0,"factor":0.5}]}`,
+		"missing factor":    `{"events":[{"at":"1s","kind":"link-derate"}]}`,
+		"index on derate":   `{"events":[{"at":"1s","kind":"link-derate","factor":0.5,"index":1}]}`,
+		"args on restore":   `{"events":[{"at":"1s","kind":"link-restore","factor":1}]}`,
+		"factor above one":  `{"events":[{"at":"1s","kind":"media-derate","factor":1.5}]}`,
+		"negative offset":   `{"events":[{"at":"-1s","kind":"link-restore"}]}`,
+		"unknown field":     `{"events":[{"at":"1s","kind":"server-fail","indx":0}]}`,
+		"trailing document": `{"events":[]}{"events":[]}`,
+		"bad duration":      `{"events":[{"at":"soon","kind":"link-restore"}]}`,
+		"nan duration":      `{"events":[{"at":"NaN","kind":"link-restore"}]}`,
+	}
+	for name, data := range cases {
+		if _, err := ParseSchedule([]byte(data)); err == nil {
+			t.Errorf("%s: accepted %s", name, data)
+		}
+	}
+}
+
+func TestScheduleMarshalRoundTrip(t *testing.T) {
+	s := Schedule{Events: []Event{
+		{At: sim.Duration(10 * time.Millisecond), Kind: ServerFail, Target: "vast", Index: 2},
+		{At: sim.Duration(time.Second), Kind: LinkDerate, Factor: 0.25},
+		{At: sim.Duration(2 * time.Second), Kind: MediaRestore},
+	}}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseSchedule(data)
+	if err != nil {
+		t.Fatalf("round trip rejected %s: %v", data, err)
+	}
+	if len(back.Events) != len(s.Events) {
+		t.Fatalf("round trip lost events: %s", data)
+	}
+	for i := range s.Events {
+		if back.Events[i].At != s.Events[i].At || back.Events[i].Kind != s.Events[i].Kind ||
+			back.Events[i].Target != s.Events[i].Target || back.Events[i].Factor != s.Events[i].Factor {
+			t.Fatalf("event %d changed: %+v -> %+v", i, s.Events[i], back.Events[i])
+		}
+		if s.Events[i].Kind.needsIndex() && back.Events[i].Index != s.Events[i].Index {
+			t.Fatalf("event %d index changed", i)
+		}
+	}
+}
+
+func TestInjectorDeliversInOrder(t *testing.T) {
+	env := sim.NewEnv()
+	tgt := &fakeTarget{servers: 4}
+	inj := NewInjector(env)
+	inj.Register("fs", tgt)
+	// Deliberately unsorted; same-instant events must keep schedule order.
+	sched := Schedule{Events: []Event{
+		{At: sim.Duration(20 * time.Millisecond), Kind: ServerRecover, Index: 1},
+		{At: sim.Duration(10 * time.Millisecond), Kind: ServerFail, Index: 1},
+		{At: sim.Duration(20 * time.Millisecond), Kind: LinkDerate, Factor: 0.5},
+		{At: sim.Duration(30 * time.Millisecond), Kind: MediaDerate, Factor: 0.9},
+	}}
+	if err := inj.Apply(sched); err != nil {
+		t.Fatal(err)
+	}
+	env.Run()
+	want := []string{"fail", "1", "recover", "1", "link", "5", "media", "9"}
+	if got := strings.Join(tgt.calls, ","); got != strings.Join(want, ",") {
+		t.Fatalf("delivery order %v, want %v", tgt.calls, want)
+	}
+	applied := inj.Applied()
+	if len(applied) != 4 {
+		t.Fatalf("recorded %d applied events, want 4", len(applied))
+	}
+	if applied[0].At != sim.Time(sim.Duration(10*time.Millisecond)) {
+		t.Fatalf("first delivery at %v", applied[0].At)
+	}
+}
+
+func TestInjectorValidation(t *testing.T) {
+	env := sim.NewEnv()
+	inj := NewInjector(env)
+	inj.Register("a", &fakeTarget{servers: 2})
+	inj.Register("b", &fakeTarget{servers: 2})
+
+	// Ambiguous empty target with two registrations.
+	err := inj.Apply(Schedule{Events: []Event{{Kind: LinkRestore}}})
+	if err == nil || !strings.Contains(err.Error(), "names no target") {
+		t.Fatalf("ambiguous target accepted: %v", err)
+	}
+	// Unknown target.
+	err = inj.Apply(Schedule{Events: []Event{{Kind: LinkRestore, Target: "c"}}})
+	if err == nil || !strings.Contains(err.Error(), "unknown target") {
+		t.Fatalf("unknown target accepted: %v", err)
+	}
+	// Index out of range, checked against the registry up front.
+	err = inj.Apply(Schedule{Events: []Event{{Kind: ServerFail, Target: "a", Index: 2}}})
+	if err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("out-of-range index accepted: %v", err)
+	}
+	// Nothing may have been armed by the failed applies.
+	if n := env.Pending(); n != 0 {
+		t.Fatalf("failed Apply armed %d events", n)
+	}
+}
+
+func TestInjectorSingleTargetDefault(t *testing.T) {
+	env := sim.NewEnv()
+	tgt := &fakeTarget{servers: 1}
+	inj := NewInjector(env)
+	inj.Register("only", tgt)
+	if err := inj.Apply(Schedule{Events: []Event{{Kind: MediaDerate, Factor: 0.5}}}); err != nil {
+		t.Fatal(err)
+	}
+	env.Run()
+	if len(tgt.calls) != 2 || tgt.calls[0] != "media" {
+		t.Fatalf("default target not used: %v", tgt.calls)
+	}
+}
+
+func TestInjectorOffsetsFromApplyInstant(t *testing.T) {
+	// Events fire at injection-time-plus-offset, not at absolute time.
+	env := sim.NewEnv()
+	tgt := &fakeTarget{servers: 1}
+	inj := NewInjector(env)
+	inj.Register("fs", tgt)
+	env.After(sim.Duration(50*time.Millisecond), func() {
+		if err := inj.Apply(Schedule{Events: []Event{
+			{At: sim.Duration(10 * time.Millisecond), Kind: ServerFail, Index: 0},
+		}}); err != nil {
+			t.Error(err)
+		}
+	})
+	env.Run()
+	if len(inj.Applied()) != 1 {
+		t.Fatal("event not delivered")
+	}
+	if got := inj.Applied()[0].At; got != sim.Time(sim.Duration(60*time.Millisecond)) {
+		t.Fatalf("delivered at %v, want 60ms", got)
+	}
+}

@@ -1,0 +1,61 @@
+package faults
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzSchedule asserts the schedule parser never panics, that every
+// accepted schedule passes Validate (the parser may not be laxer than the
+// validator), and that accepted schedules survive a marshal/re-parse
+// round trip event for event.
+func FuzzSchedule(f *testing.F) {
+	for _, seed := range []string{
+		`{"events":[]}`,
+		`{"events":[{"at":"10ms","kind":"server-fail","target":"vast","index":0}]}`,
+		`{"events":[{"at":"1.5","kind":"media-derate","factor":0.8}]}`,
+		`{"events":[{"at":"2s","kind":"link-restore"},{"at":"3s","kind":"media-restore"}]}`,
+		`{"events":[{"at":"1s","kind":"link-derate","factor":0.5}]}`,
+		`{"events":[{"at":"-1s","kind":"link-restore"}]}`,
+		`{"events":[{"at":"1s","kind":"server-melt","index":0}]}`,
+		`{"events":[{"at":"NaN","kind":"link-restore"}]}`,
+		`{"events":[]}{"events":[]}`,
+		`{}`,
+		`[]`,
+		``,
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ParseSchedule(data)
+		if err != nil {
+			return
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("parser accepted %q but Validate rejects it: %v", data, err)
+		}
+		out, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("accepted schedule %q does not marshal: %v", data, err)
+		}
+		back, err := ParseSchedule(out)
+		if err != nil {
+			t.Fatalf("marshalled schedule %q does not re-parse: %v", out, err)
+		}
+		if len(back.Events) != len(s.Events) {
+			t.Fatalf("round trip changed event count: %d -> %d", len(s.Events), len(back.Events))
+		}
+		for i := range s.Events {
+			a, b := s.Events[i], back.Events[i]
+			if a.At != b.At || a.Kind != b.Kind || a.Target != b.Target {
+				t.Fatalf("event %d changed in round trip: %+v -> %+v", i, a, b)
+			}
+			if a.Kind.needsIndex() && a.Index != b.Index {
+				t.Fatalf("event %d index changed: %d -> %d", i, a.Index, b.Index)
+			}
+			if a.Kind.needsFactor() && a.Factor != b.Factor {
+				t.Fatalf("event %d factor changed: %g -> %g", i, a.Factor, b.Factor)
+			}
+		}
+	})
+}

@@ -1,0 +1,185 @@
+// Package invariants is a reusable harness asserting the physical
+// invariants a fault-injected simulation must keep:
+//
+//   - Conservation: every byte a workload wrote is accounted for by the
+//     backend (for VAST, bytes written == bytes migrated + bytes still
+//     staged) — registered per test as a final check.
+//   - No over-allocation: no pipe's granted flow rate exceeds its
+//     capacity, sampled periodically through the event loop.
+//   - Clock monotonicity: virtual time never moves backwards across
+//     samples.
+//   - No-op fault pairs: a (fail at t, recover at t) pair leaves the
+//     fabric's capacity state byte-identical to never having failed —
+//     asserted by snapshotting and diffing pipe state.
+//
+// The sampler delivers itself through the simulation event loop and
+// re-arms only while other events remain pending, so attaching a Checker
+// never keeps Env.Run from terminating.
+package invariants
+
+import (
+	"fmt"
+
+	"storagesim/internal/sim"
+)
+
+// Checker samples invariants over a run and collects violations.
+type Checker struct {
+	env      *sim.Env
+	fab      *sim.Fabric
+	interval sim.Duration
+
+	lastNow    sim.Time
+	samples    int
+	violations []string
+
+	finals []finalCheck
+}
+
+type finalCheck struct {
+	name string
+	fn   func() error
+}
+
+// Attach enables fabric accounting and starts a periodic sampler with the
+// given interval. Call before env.Run.
+func Attach(env *sim.Env, fab *sim.Fabric, interval sim.Duration) *Checker {
+	if interval <= 0 {
+		panic("invariants: sampling interval must be positive")
+	}
+	fab.EnableAccounting()
+	c := &Checker{env: env, fab: fab, interval: interval, lastNow: env.Now()}
+	c.arm()
+	return c
+}
+
+// arm schedules the next sample.
+func (c *Checker) arm() {
+	c.env.After(c.interval, func() {
+		c.sample()
+		// Re-arm only while the run has other work: a sampler that always
+		// re-armed would keep the event loop alive forever.
+		if c.env.Pending() > 0 {
+			c.arm()
+		}
+	})
+}
+
+// sample runs the periodic checks at the current virtual instant.
+func (c *Checker) sample() {
+	c.samples++
+	now := c.env.Now()
+	if now < c.lastNow {
+		c.violationf("clock moved backwards: %v after %v", now, c.lastNow)
+	}
+	c.lastNow = now
+	// Allocation checks are only meaningful when the fabric has settled:
+	// between a capacity change and its same-instant coalesced solve, rates
+	// are transiently stale by design.
+	if !c.fab.Settled() {
+		return
+	}
+	for _, p := range c.fab.Pipes() {
+		capBps := p.Capacity()
+		// Tolerance for the solver's float math: parts-per-billion relative
+		// plus a sub-byte/sec absolute floor.
+		if alloc := p.AllocatedRate(); alloc > capBps*(1+1e-9)+1e-6 {
+			c.violationf("pipe %s over-allocated at %v: %.3f B/s granted, %.3f B/s capacity",
+				p.Name(), now, alloc, capBps)
+		}
+		if h := p.HealthFactor(); h < 0 || h > 1 {
+			c.violationf("pipe %s health factor %g outside [0,1]", p.Name(), h)
+		}
+	}
+}
+
+// violationf records one violation (capped so a broken run cannot fill
+// memory with repeats).
+func (c *Checker) violationf(format string, args ...interface{}) {
+	if len(c.violations) < 100 {
+		c.violations = append(c.violations, fmt.Sprintf(format, args...))
+	}
+}
+
+// Final registers a named conservation (or other end-state) check to run
+// when Err is called after the run — e.g. bytes written == migrated +
+// staged for a VAST system.
+func (c *Checker) Final(name string, fn func() error) {
+	c.finals = append(c.finals, finalCheck{name, fn})
+}
+
+// Samples reports how many periodic samples ran (tests assert > 0 so a
+// mis-armed sampler cannot pass vacuously).
+func (c *Checker) Samples() int { return c.samples }
+
+// Err runs the final checks and returns the first violation, or nil when
+// the run kept every invariant.
+func (c *Checker) Err() error {
+	for _, f := range c.finals {
+		if err := f.fn(); err != nil {
+			c.violationf("final check %s: %v", f.name, err)
+		}
+	}
+	c.finals = nil
+	if len(c.violations) > 0 {
+		return fmt.Errorf("invariants: %d violation(s), first: %s", len(c.violations), c.violations[0])
+	}
+	return nil
+}
+
+// Violations returns every recorded violation.
+func (c *Checker) Violations() []string { return append([]string(nil), c.violations...) }
+
+// ConserveBytes builds a Final check asserting that the accounted bytes
+// (e.g. migrated + staged) match the bytes the workload wrote, within a
+// per-gigabyte float slack.
+func ConserveBytes(written func() int64, accounted func() int64) func() error {
+	return func() error {
+		w, a := written(), accounted()
+		if w != a {
+			return fmt.Errorf("wrote %d bytes but backend accounts %d", w, a)
+		}
+		return nil
+	}
+}
+
+// PipeState is one pipe's capacity state for no-op pair snapshots.
+type PipeState struct {
+	Name     string
+	Base     float64
+	Capacity float64
+	Health   float64
+}
+
+// Snapshot captures every pipe's capacity state in creation order.
+func Snapshot(fab *sim.Fabric) []PipeState {
+	pipes := fab.Pipes()
+	out := make([]PipeState, 0, len(pipes))
+	for _, p := range pipes {
+		out = append(out, PipeState{
+			Name:     p.Name(),
+			Base:     p.BaseCapacity(),
+			Capacity: p.Capacity(),
+			Health:   p.HealthFactor(),
+		})
+	}
+	return out
+}
+
+// DiffStates compares two snapshots field-by-field and reports the first
+// difference — the identical-final-state assertion for (fail, recover)
+// no-op pairs. Pipes created between the snapshots (lazy per-mount or
+// per-pattern pipes) fail the diff: a no-op pair must not create state.
+func DiffStates(before, after []PipeState) error {
+	if len(before) != len(after) {
+		return fmt.Errorf("pipe count changed: %d -> %d", len(before), len(after))
+	}
+	for i := range before {
+		b, a := before[i], after[i]
+		if b != a {
+			return fmt.Errorf("pipe %s changed: base %g->%g capacity %g->%g health %g->%g",
+				b.Name, b.Base, a.Base, b.Capacity, a.Capacity, b.Health, a.Health)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+package faults
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"storagesim/internal/sim"
+	"storagesim/internal/units"
+)
+
+// JSON schedule format, shared by the experiment harness and the iorbench
+// -faults flag:
+//
+//	{
+//	  "events": [
+//	    {"at": "10ms", "kind": "server-fail",    "target": "vast", "index": 0},
+//	    {"at": "40ms", "kind": "server-recover", "target": "vast", "index": 0},
+//	    {"at": "5ms",  "kind": "link-derate",    "target": "gpfs", "factor": 0.5},
+//	    {"at": "1.2",  "kind": "media-derate",   "factor": 0.8}
+//	  ]
+//	}
+//
+// "at" accepts Go duration syntax ("10ms", "2m30s") or a bare number of
+// seconds. "target" may be omitted when only one backend is registered.
+// "factor" is the health fraction for derates; restores take none.
+
+type jsonEvent struct {
+	At     string   `json:"at"`
+	Kind   string   `json:"kind"`
+	Target string   `json:"target,omitempty"`
+	Index  *int     `json:"index,omitempty"`
+	Factor *float64 `json:"factor,omitempty"`
+}
+
+type jsonSchedule struct {
+	Events []jsonEvent `json:"events"`
+}
+
+// ParseSchedule decodes and validates the JSON schedule format. Unknown
+// fields are rejected — a typoed "indx" silently dropping a fault would
+// invalidate a whole degraded-mode study.
+func ParseSchedule(data []byte) (Schedule, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var js jsonSchedule
+	if err := dec.Decode(&js); err != nil {
+		return Schedule{}, fmt.Errorf("faults: bad schedule JSON: %v", err)
+	}
+	// A second document in the same input is a mistake, not data.
+	if dec.More() {
+		return Schedule{}, fmt.Errorf("faults: trailing data after schedule")
+	}
+	var s Schedule
+	for i, je := range js.Events {
+		ev, err := je.toEvent()
+		if err != nil {
+			return Schedule{}, fmt.Errorf("faults: event %d: %w", i, err)
+		}
+		s.Events = append(s.Events, ev)
+	}
+	if err := s.Validate(); err != nil {
+		return Schedule{}, fmt.Errorf("faults: %w", err)
+	}
+	return s, nil
+}
+
+// toEvent converts one JSON event, enforcing that the fields present match
+// the kind (an index on a derate or a factor on a fail is a schedule bug).
+func (je jsonEvent) toEvent() (Event, error) {
+	kind := Kind(je.Kind)
+	if !kind.valid() {
+		return Event{}, fmt.Errorf("unknown kind %q", je.Kind)
+	}
+	at, err := units.ParseDuration(je.At)
+	if err != nil {
+		return Event{}, err
+	}
+	ev := Event{At: sim.Duration(at), Kind: kind, Target: je.Target, Index: -1}
+	switch {
+	case kind.needsIndex():
+		if je.Index == nil {
+			return Event{}, fmt.Errorf("%s needs \"index\"", kind)
+		}
+		if je.Factor != nil {
+			return Event{}, fmt.Errorf("%s takes no \"factor\"", kind)
+		}
+		ev.Index = *je.Index
+	case kind.needsFactor():
+		if je.Factor == nil {
+			return Event{}, fmt.Errorf("%s needs \"factor\"", kind)
+		}
+		if je.Index != nil {
+			return Event{}, fmt.Errorf("%s takes no \"index\"", kind)
+		}
+		ev.Factor = *je.Factor
+	default:
+		if je.Index != nil || je.Factor != nil {
+			return Event{}, fmt.Errorf("%s takes neither \"index\" nor \"factor\"", kind)
+		}
+	}
+	return ev, nil
+}
+
+// MarshalJSON renders the schedule back into the documented format, so a
+// programmatically built schedule can be written out as an example file.
+func (s Schedule) MarshalJSON() ([]byte, error) {
+	js := jsonSchedule{Events: []jsonEvent{}}
+	for _, ev := range s.Events {
+		je := jsonEvent{At: ev.At.String(), Kind: string(ev.Kind), Target: ev.Target}
+		if ev.Kind.needsIndex() {
+			idx := ev.Index
+			je.Index = &idx
+		}
+		if ev.Kind.needsFactor() {
+			f := ev.Factor
+			je.Factor = &f
+		}
+		js.Events = append(js.Events, je)
+	}
+	return json.Marshal(js)
+}

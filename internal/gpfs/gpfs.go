@@ -88,6 +88,12 @@ type System struct {
 	serverMem *sim.Pipe
 	raid      *device.Device
 	serverCch *cache.Cache
+
+	// Fault state (see faults.go): failed marks out-of-service NSD servers;
+	// linkHealth and mediaHealth are the prevailing cluster-wide derates.
+	failed      []bool
+	linkHealth  float64
+	mediaHealth float64
 }
 
 // New builds the system on the fabric.
@@ -95,7 +101,8 @@ func New(env *sim.Env, fab *sim.Fabric, cfg Config) (*System, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	s := &System{cfg: cfg, env: env, fab: fab, ns: fsapi.NewNamespace()}
+	s := &System{cfg: cfg, env: env, fab: fab, ns: fsapi.NewNamespace(),
+		failed: make([]bool, cfg.NSDServers), linkHealth: 1, mediaHealth: 1}
 	poolBW := cfg.ServerNICBW * float64(cfg.NSDServers)
 	s.nsdUp = fab.NewPipe(cfg.Name+"/nsd/up", poolBW, 2*time.Microsecond)
 	s.nsdDown = fab.NewPipe(cfg.Name+"/nsd/down", poolBW, 2*time.Microsecond)

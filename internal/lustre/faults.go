@@ -1,0 +1,88 @@
+package lustre
+
+import "fmt"
+
+// OSS failure and recovery. The model pools the object storage servers'
+// NICs and OSTs into aggregate pipes, so losing an OSS removes its share
+// of both pools (in a real deployment its OSTs fail over to an HA partner,
+// which then serves double duty — the same aggregate-bandwidth loss). The
+// per-stream stripe-1 caps stay nominal: a surviving OSS still serves one
+// file at full speed.
+//
+// Capacity changes route through the pipes' health factors
+// (sim.Pipe.SetHealthFactor), so a fail/recover pair restores the exact
+// nominal pool capacity.
+
+// FailOSS takes OSS i out of service. Failing an already-failed server is
+// a no-op; failing the last healthy OSS panics.
+func (s *System) FailOSS(i int) {
+	if i < 0 || i >= s.cfg.OSSCount {
+		panic(fmt.Sprintf("lustre %s: no OSS %d", s.cfg.Name, i))
+	}
+	if s.failed[i] {
+		return
+	}
+	if s.healthyOSSes() == 1 {
+		panic(fmt.Sprintf("lustre %s: cannot fail the last healthy OSS", s.cfg.Name))
+	}
+	s.failed[i] = true
+	s.applyHealth()
+}
+
+// RecoverOSS returns a failed OSS to service; recovering a healthy server
+// is a no-op.
+func (s *System) RecoverOSS(i int) {
+	if i < 0 || i >= s.cfg.OSSCount || !s.failed[i] {
+		return
+	}
+	s.failed[i] = false
+	s.applyHealth()
+}
+
+// HealthyOSSes reports how many OSSes are in service.
+func (s *System) HealthyOSSes() int { return s.healthyOSSes() }
+
+func (s *System) healthyOSSes() int {
+	n := 0
+	for i := 0; i < s.cfg.OSSCount; i++ {
+		if !s.failed[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// applyHealth scales the pooled pipes and the OST pool to the healthy
+// fraction combined with the prevailing cluster-wide derates.
+func (s *System) applyHealth() {
+	frac := float64(s.healthyOSSes()) / float64(s.cfg.OSSCount)
+	s.ossUp.SetHealthFactor(frac * s.linkHealth)
+	s.ossDown.SetHealthFactor(frac * s.linkHealth)
+	s.pool.SetHealthFactor(frac * s.mediaHealth)
+}
+
+// --- faults.Target ---
+
+// FaultServers implements faults.Target: the failable servers are the
+// OSSes (MDS failures are not modeled — opens would block, not degrade).
+func (s *System) FaultServers() int { return s.cfg.OSSCount }
+
+// FailServer implements faults.Target.
+func (s *System) FailServer(i int) { s.FailOSS(i) }
+
+// RecoverServer implements faults.Target.
+func (s *System) RecoverServer(i int) { s.RecoverOSS(i) }
+
+// SetLinkHealth implements faults.Target: derates the OSS NIC pools to
+// fraction f of nominal.
+func (s *System) SetLinkHealth(f float64) {
+	s.linkHealth = f
+	s.applyHealth()
+}
+
+// SetMediaHealth implements faults.Target: derates the OST pool (a raidz2
+// group resilvering behind a surviving OSS).
+func (s *System) SetMediaHealth(f float64) {
+	s.mediaHealth = f
+	s.applyHealth()
+}

@@ -74,6 +74,12 @@ type System struct {
 	ossUp, ossDown *sim.Pipe
 	pool           *device.Device
 
+	// Fault state (see faults.go): failed marks out-of-service OSSes;
+	// linkHealth and mediaHealth are the prevailing cluster-wide derates.
+	failed      []bool
+	linkHealth  float64
+	mediaHealth float64
+
 	// perStreamCap is one OST server's bandwidth: a stripe-1 file cannot
 	// exceed it.
 	perStreamCapR float64
@@ -85,7 +91,8 @@ func New(env *sim.Env, fab *sim.Fabric, cfg Config) (*System, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	s := &System{cfg: cfg, env: env, fab: fab, ns: fsapi.NewNamespace()}
+	s := &System{cfg: cfg, env: env, fab: fab, ns: fsapi.NewNamespace(),
+		failed: make([]bool, cfg.OSSCount), linkHealth: 1, mediaHealth: 1}
 	poolNIC := cfg.ServerNICBW * float64(cfg.OSSCount)
 	s.ossUp = fab.NewPipe(cfg.Name+"/oss/up", poolNIC, 2*time.Microsecond)
 	s.ossDown = fab.NewPipe(cfg.Name+"/oss/down", poolNIC, 2*time.Microsecond)

@@ -61,6 +61,13 @@ func (d *Duplex) Derate(f float64) {
 	d.Down.SetCapacity(d.Down.Capacity() * f)
 }
 
+// SetHealthFactor applies an absolute fault derate to both directions
+// (1 = healthy, 0 = parked); see sim.Pipe.SetHealthFactor.
+func (d *Duplex) SetHealthFactor(f float64) {
+	d.Up.SetHealthFactor(f)
+	d.Down.SetHealthFactor(f)
+}
+
 // LinkBank is a set of parallel duplex links treated as one aggregate hop —
 // the paper's gateway banks ("eight gateway nodes with a 1×40Gb link each")
 // and multipath rails. Flows are spread across members round-robin; with
@@ -69,6 +76,10 @@ type LinkBank struct {
 	name  string
 	links []*Duplex
 	next  int
+
+	// health is the prevailing fault derate, remembered so the lazily
+	// created multipath aggregates inherit it (see transport.go).
+	health float64
 
 	// lazily created multipath aggregates; see transport.go.
 	aggUp, aggDown *sim.Pipe
@@ -80,7 +91,7 @@ func NewLinkBank(fab *sim.Fabric, name string, n int, bytesPerSec float64, laten
 	if n <= 0 {
 		panic("netsim: link bank needs at least one link")
 	}
-	b := &LinkBank{name: name}
+	b := &LinkBank{name: name, health: 1}
 	for i := 0; i < n; i++ {
 		b.links = append(b.links, NewDuplex(fab, fmt.Sprintf("%s[%d]", name, i), bytesPerSec, latency))
 	}
@@ -111,6 +122,34 @@ func (b *LinkBank) AggregateCapacity() float64 {
 		total += l.Up.Capacity()
 	}
 	return total
+}
+
+// aggregateBase is AggregateCapacity over the nominal (pre-fault) member
+// capacities — the right base for the lazy multipath aggregates, which take
+// the bank's health factor separately.
+func (b *LinkBank) aggregateBase() float64 {
+	total := 0.0
+	for _, l := range b.links {
+		total += l.Up.BaseCapacity()
+	}
+	return total
+}
+
+// SetHealthFactor applies an absolute fault derate to every member link
+// and any multipath aggregate derived from the bank (1 = healthy, 0 =
+// parked); see sim.Pipe.SetHealthFactor. Aggregates created later inherit
+// the prevailing factor.
+func (b *LinkBank) SetHealthFactor(f float64) {
+	b.health = f
+	for _, l := range b.links {
+		l.SetHealthFactor(f)
+	}
+	if b.aggUp != nil {
+		b.aggUp.SetHealthFactor(f)
+	}
+	if b.aggDown != nil {
+		b.aggDown.SetHealthFactor(f)
+	}
 }
 
 // Derate multiplies every member link's capacity by f (contention model).

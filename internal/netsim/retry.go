@@ -1,0 +1,83 @@
+package netsim
+
+import (
+	"fmt"
+
+	"storagesim/internal/sim"
+)
+
+// RetryPolicy models the NFS client's RPC retransmission behaviour against
+// an unresponsive server: an initial timeout (the mount's timeo), an
+// exponential backoff multiplier, a retransmit-interval ceiling, and an
+// optional retry budget (soft mounts give up; hard mounts — the HPC
+// default, and what the paper's deployments use — retry forever).
+//
+// Op-level workloads consult the policy when their resolved path has died:
+// every retransmission round costs virtual time, which is how a CNode or
+// OSS failure shows up as a throughput dip instead of an instant, free
+// failover.
+type RetryPolicy struct {
+	// Timeout is the first retransmit timeout (NFS timeo; 0 disables the
+	// retry model entirely — failover is instantaneous, the seed behaviour).
+	Timeout sim.Duration
+	// Multiplier grows the timeout each round (2 = exponential backoff).
+	// Values below 1 are treated as 1 (constant retransmit interval).
+	Multiplier float64
+	// MaxTimeout caps the per-round timeout (retransmit ceiling); 0 means
+	// uncapped.
+	MaxTimeout sim.Duration
+	// MaxRetries bounds the rounds before the client errors out (soft
+	// mount); 0 retries forever (hard mount).
+	MaxRetries int
+}
+
+// Enabled reports whether the policy models retransmission at all.
+func (rp RetryPolicy) Enabled() bool { return rp.Timeout > 0 }
+
+// Validate reports the first problem with the policy.
+func (rp RetryPolicy) Validate() error {
+	switch {
+	case rp.Timeout < 0:
+		return fmt.Errorf("netsim: negative retry timeout")
+	case rp.MaxTimeout < 0:
+		return fmt.Errorf("netsim: negative retry timeout cap")
+	case rp.MaxRetries < 0:
+		return fmt.Errorf("netsim: negative retry budget")
+	}
+	return nil
+}
+
+// Retry blocks p through timeout-plus-backoff rounds until healthy reports
+// true, returning the number of retransmissions paid. Call it only when the
+// path is (or just was) dead: the first round's timeout is always charged —
+// it models the RPC that was already in flight when the server vanished.
+// healthy is polled after each round, so a server that recovers mid-backoff
+// is noticed at the next retransmit, exactly like a real NFS client.
+//
+// With MaxRetries > 0 the call gives up after that many rounds and returns
+// ok=false (the soft-mount EIO); with MaxRetries == 0 it retries forever,
+// which in a simulation with a finite fault schedule always terminates.
+func (rp RetryPolicy) Retry(p *sim.Proc, healthy func() bool) (retries int, ok bool) {
+	if !rp.Enabled() {
+		return 0, healthy()
+	}
+	timeout := rp.Timeout
+	mult := rp.Multiplier
+	if mult < 1 {
+		mult = 1
+	}
+	for {
+		retries++
+		if rp.MaxRetries > 0 && retries > rp.MaxRetries {
+			return retries - 1, false
+		}
+		p.Sleep(timeout)
+		if healthy() {
+			return retries, true
+		}
+		timeout = sim.Duration(float64(timeout) * mult)
+		if rp.MaxTimeout > 0 && timeout > rp.MaxTimeout {
+			timeout = rp.MaxTimeout
+		}
+	}
+}

@@ -235,12 +235,18 @@ func BlockingStreamCap(ioSize int64, rtt sim.Duration, serviceBW float64) float6
 func (b *LinkBank) aggregate(dir Direction) *sim.Pipe {
 	if dir == ClientToServer {
 		if b.aggUp == nil {
-			b.aggUp = b.links[0].Up.Fabric().NewPipe(b.name+"/agg-up", b.AggregateCapacity(), b.links[0].Up.Latency())
+			b.aggUp = b.links[0].Up.Fabric().NewPipe(b.name+"/agg-up", b.aggregateBase(), b.links[0].Up.Latency())
+			if b.health != 1 {
+				b.aggUp.SetHealthFactor(b.health)
+			}
 		}
 		return b.aggUp
 	}
 	if b.aggDown == nil {
-		b.aggDown = b.links[0].Down.Fabric().NewPipe(b.name+"/agg-down", b.AggregateCapacity(), b.links[0].Down.Latency())
+		b.aggDown = b.links[0].Down.Fabric().NewPipe(b.name+"/agg-down", b.aggregateBase(), b.links[0].Down.Latency())
+		if b.health != 1 {
+			b.aggDown.SetHealthFactor(b.health)
+		}
 	}
 	return b.aggDown
 }

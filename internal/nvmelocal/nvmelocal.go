@@ -73,6 +73,10 @@ type System struct {
 
 	nodes map[string]*nodeState
 	order []string // deterministic iteration
+
+	// Fault state (see faults.go): prevailing cluster-wide derates.
+	linkHealth  float64
+	mediaHealth float64
 }
 
 type nodeState struct {
@@ -85,6 +89,7 @@ type nodeState struct {
 	dirty     int64
 	lastDrain sim.Time
 	client    *client
+	failed    bool
 }
 
 // New builds the system; nodes attach lazily on Mount.
@@ -92,7 +97,8 @@ func New(env *sim.Env, fab *sim.Fabric, cfg Config) (*System, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &System{cfg: cfg, env: env, fab: fab, nodes: map[string]*nodeState{}}, nil
+	return &System{cfg: cfg, env: env, fab: fab, nodes: map[string]*nodeState{},
+		linkHealth: 1, mediaHealth: 1}, nil
 }
 
 // MustNew is New that panics on config errors.

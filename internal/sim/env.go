@@ -34,6 +34,12 @@ func NewEnv() *Env {
 // Now returns the current virtual time.
 func (e *Env) Now() Time { return e.now }
 
+// Pending returns the number of live events on the calendar — cancelled
+// events are removed immediately and never counted. Periodic observers
+// (the fault-injection invariant sampler) use it to re-arm themselves only
+// while the simulation still has work, so Run can terminate.
+func (e *Env) Pending() int { return e.events.len() }
+
 // Schedule runs fn at time `at`. It returns a handle that can cancel the
 // event before it fires. Scheduling in the past panics: that is always a
 // model bug.
@@ -44,7 +50,7 @@ func (e *Env) Schedule(at Time, fn func()) *EventHandle {
 	e.seq++
 	ev := &timedEvent{at: at, seq: e.seq, fn: fn}
 	e.events.push(ev)
-	return &EventHandle{ev: ev}
+	return &EventHandle{env: e, ev: ev}
 }
 
 // After runs fn after duration d.
@@ -53,17 +59,21 @@ func (e *Env) After(d Duration, fn func()) *EventHandle {
 }
 
 // EventHandle allows cancelling a scheduled event.
-type EventHandle struct{ ev *timedEvent }
+type EventHandle struct {
+	env *Env
+	ev  *timedEvent
+}
 
-// Cancel prevents the event from firing. Cancelling an already-fired or
-// already-cancelled event is a no-op, and calling Cancel on a nil handle is
-// explicitly allowed — callers that keep an optional timer (e.g. the
-// fabric's completion timer before the first flow starts) may cancel it
-// unconditionally.
+// Cancel removes the event from the calendar so it neither fires nor counts
+// toward Pending. Cancelling an already-fired or already-cancelled event is
+// a no-op, and calling Cancel on a nil handle is explicitly allowed —
+// callers that keep an optional timer (e.g. the fabric's completion timer
+// before the first flow starts) may cancel it unconditionally.
 func (h *EventHandle) Cancel() {
-	if h != nil && h.ev != nil {
-		h.ev.canceled = true
+	if h == nil || h.ev == nil || h.ev.idx < 0 {
+		return
 	}
+	h.env.events.remove(h.ev.idx)
 }
 
 // Go starts a new simulated process running fn. The process begins executing
@@ -100,9 +110,6 @@ func (e *Env) Run() Time {
 	defer func() { e.running = false }()
 	for e.events.len() > 0 {
 		ev := e.events.pop()
-		if ev.canceled {
-			continue
-		}
 		e.now = ev.at
 		ev.fn()
 	}
@@ -125,9 +132,6 @@ func (e *Env) RunUntil(deadline Time) Time {
 	defer func() { e.running = false }()
 	for e.events.len() > 0 && e.events.peek().at <= deadline {
 		ev := e.events.pop()
-		if ev.canceled {
-			continue
-		}
 		e.now = ev.at
 		ev.fn()
 	}

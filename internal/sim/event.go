@@ -5,10 +5,15 @@ package sim
 // (seq), which makes the calendar a total order and the simulation
 // deterministic.
 type timedEvent struct {
-	at       Time
-	seq      uint64
-	fn       func()
-	canceled bool
+	at  Time
+	seq uint64
+	fn  func()
+	// idx is the event's position in the heap, or -1 once it has been
+	// popped or cancelled. Tracking it makes Cancel a true O(log n)
+	// removal, so Pending() never counts dead events — periodic observers
+	// (the invariant sampler) re-arm off Pending() and must not be kept
+	// alive by a cancelled far-future timer.
+	idx int
 }
 
 // eventHeap is a binary min-heap ordered by (at, seq). It implements the
@@ -28,9 +33,14 @@ func (h *eventHeap) less(i, j int) bool {
 	return a.seq < b.seq
 }
 
-func (h *eventHeap) swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *eventHeap) swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.items[i].idx = i
+	h.items[j].idx = j
+}
 
 func (h *eventHeap) push(ev *timedEvent) {
+	ev.idx = len(h.items)
 	h.items = append(h.items, ev)
 	h.up(len(h.items) - 1)
 }
@@ -44,7 +54,26 @@ func (h *eventHeap) pop() *timedEvent {
 	if n > 0 {
 		h.down(0)
 	}
+	ev.idx = -1
 	return ev
+}
+
+// remove deletes the event at heap position i. The relative order of the
+// remaining events is untouched, so cancellation never perturbs the
+// deterministic schedule.
+func (h *eventHeap) remove(i int) {
+	n := len(h.items) - 1
+	ev := h.items[i]
+	if i != n {
+		h.swap(i, n)
+	}
+	h.items[n] = nil
+	h.items = h.items[:n]
+	if i < n {
+		h.down(i)
+		h.up(i)
+	}
+	ev.idx = -1
 }
 
 // peek returns the earliest event without removing it.

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"math"
 	"sort"
 )
@@ -73,8 +74,16 @@ type Pipe struct {
 	fabric   *Fabric
 	id       int32
 	name     string
-	capacity float64 // bytes per second
+	capacity float64 // effective bytes per second (base × health)
 	latency  Duration
+
+	// base is the nominal capacity the pipe was configured with; health is
+	// the fault-injection factor applied on top of it (1 = healthy, 0 =
+	// parked). Keeping them separate lets a failed component recover to its
+	// exact pre-fault capacity and lets derates compose with the ablation
+	// sweeps' SetCapacity calls.
+	base   float64
+	health float64
 
 	// classes crossing this pipe, in deterministic insertion order
 	// (swap-remove on class retirement keeps removal O(1) while staying
@@ -107,6 +116,8 @@ func (f *Fabric) NewPipe(name string, bytesPerSec float64, latency Duration) *Pi
 		id:       int32(len(f.pipes)),
 		name:     name,
 		capacity: bytesPerSec,
+		base:     bytesPerSec,
+		health:   1,
 		latency:  latency,
 	}
 	f.pipes = append(f.pipes, p)
@@ -125,14 +136,57 @@ func (p *Pipe) Capacity() float64 { return p.capacity }
 // Latency returns the pipe's one-way propagation latency.
 func (p *Pipe) Latency() Duration { return p.latency }
 
-// SetCapacity changes the pipe capacity and reallocates the flows of the
-// pipe's connected component. Used by noise injectors and ablation sweeps.
+// SetCapacity changes the pipe's base capacity and reallocates the flows of
+// the pipe's connected component. Used by noise injectors and ablation
+// sweeps. Any fault health factor stays applied on top of the new base.
 func (p *Pipe) SetCapacity(bytesPerSec float64) {
 	if bytesPerSec <= 0 {
 		panic("sim: pipe capacity must be positive: " + p.name)
 	}
+	p.base = bytesPerSec
+	p.applyCapacity()
+}
+
+// ParkedBps is the effective capacity of a parked pipe (health factor 0): a
+// token trickle that lets in-flight flows drain away from a failed component
+// instead of dividing by zero, mirroring an NFS hard mount retrying into the
+// void until its server returns.
+const ParkedBps = 1
+
+// SetHealthFactor derates the pipe to fraction f of its base capacity —
+// the fault-injection handle. f = 1 restores full health, 0 parks the pipe
+// at ParkedBps, values in between model NIC derates and SSD wear. Unlike
+// SetCapacity arithmetic done by callers, the factor is absolute, so a
+// recover event restores the exact pre-fault capacity.
+func (p *Pipe) SetHealthFactor(f float64) {
+	switch {
+	case f < 0 || f > 1:
+		panic(fmt.Sprintf("sim: health factor %g out of [0,1]: %s", f, p.name))
+	case f == p.health:
+		return
+	}
+	p.health = f
+	p.applyCapacity()
+}
+
+// HealthFactor returns the pipe's current fault derate factor (1 = healthy).
+func (p *Pipe) HealthFactor() float64 { return p.health }
+
+// BaseCapacity returns the nominal capacity before fault derating.
+func (p *Pipe) BaseCapacity() float64 { return p.base }
+
+// applyCapacity recomputes the effective capacity from base × health and
+// schedules a re-solve of the pipe's connected component.
+func (p *Pipe) applyCapacity() {
+	eff := p.base * p.health
+	if eff < ParkedBps {
+		eff = ParkedBps
+	}
+	if eff == p.capacity {
+		return
+	}
 	p.fabric.advance()
-	p.capacity = bytesPerSec
+	p.capacity = eff
 	p.fabric.touch(p)
 	p.fabric.markDirty()
 }
@@ -249,6 +303,11 @@ func (f *Fabric) markDirty() {
 		f.step()
 	})
 }
+
+// Settled reports whether the fabric has no same-instant re-solve pending.
+// Invariant checkers sampling between a capacity change and its coalesced
+// solve event skip allocation checks until the fabric settles.
+func (f *Fabric) Settled() bool { return !f.solvePending }
 
 // step is the fabric's per-event pipeline: integrate progress, complete
 // finished flows, re-solve the dirty region, and re-arm the completion

@@ -92,6 +92,10 @@ type System struct {
 	nodes []*nodeState
 	// chunkOwner maps (inode, chunk index) to the owning node's index.
 	chunkOwner map[chunkKey]int
+
+	// Fault state (see faults.go): prevailing cluster-wide derates.
+	linkHealth  float64
+	mediaHealth float64
 }
 
 type chunkKey struct {
@@ -100,10 +104,11 @@ type chunkKey struct {
 }
 
 type nodeState struct {
-	name string
-	nic  *netsim.Iface
-	dev  *device.Device
-	svc  *sim.Resource
+	name   string
+	nic    *netsim.Iface
+	dev    *device.Device
+	svc    *sim.Resource
+	failed bool
 }
 
 // New builds the system; nodes attach via Mount.
@@ -112,11 +117,13 @@ func New(env *sim.Env, fab *sim.Fabric, cfg Config) (*System, error) {
 		return nil, err
 	}
 	return &System{
-		cfg:        cfg,
-		env:        env,
-		fab:        fab,
-		ns:         fsapi.NewNamespace(),
-		chunkOwner: map[chunkKey]int{},
+		cfg:         cfg,
+		env:         env,
+		fab:         fab,
+		ns:          fsapi.NewNamespace(),
+		chunkOwner:  map[chunkKey]int{},
+		linkHealth:  1,
+		mediaHealth: 1,
 	}, nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // Bytes is a data size in bytes.
@@ -100,6 +101,34 @@ func (r BPS) String() string {
 	}
 }
 
+// ParseDuration parses strings like "10ms", "1.5s", "2m30s" into a
+// duration. A bare number is taken as seconds (the convention of fault
+// schedules and benchmark configs, where sub-second offsets are the
+// exception). Negative durations are rejected: no schedule event or timeout
+// can point into the past.
+func ParseDuration(s string) (time.Duration, error) {
+	t := strings.TrimSpace(s)
+	if t == "" {
+		return 0, fmt.Errorf("units: empty duration")
+	}
+	if v, err := strconv.ParseFloat(t, 64); err == nil {
+		// ParseFloat accepts "NaN" and "Inf"; reject them and anything that
+		// overflows an int64 nanosecond count before converting.
+		if v != v || v < 0 || v > float64(1<<62)/float64(time.Second) {
+			return 0, fmt.Errorf("units: duration %q out of range", s)
+		}
+		return time.Duration(v * float64(time.Second)), nil
+	}
+	d, err := time.ParseDuration(t)
+	if err != nil {
+		return 0, fmt.Errorf("units: cannot parse duration %q", s)
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("units: negative duration %q", s)
+	}
+	return d, nil
+}
+
 func trimZeros(s string) string {
 	s = strings.TrimRight(s, "0")
 	return strings.TrimRight(s, ".")
@@ -154,8 +183,11 @@ func ParseBytes(s string) (Bytes, error) {
 	if err != nil {
 		return 0, fmt.Errorf("units: cannot parse size %q: %v", s, err)
 	}
-	if v < 0 {
+	if v != v || v < 0 {
 		return 0, fmt.Errorf("units: negative size %q", s)
+	}
+	if v*float64(mult) > float64(1<<62) {
+		return 0, fmt.Errorf("units: size %q out of range", s)
 	}
 	return Bytes(v * float64(mult)), nil
 }

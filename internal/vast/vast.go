@@ -87,6 +87,12 @@ type Config struct {
 	// staged-but-unmigrated data reaches it, writers throttle to the
 	// migrator's drain rate. 0 disables backpressure.
 	SCMStagingBytes int64
+
+	// Retry models the NFS client's retransmit/timeout/backoff behaviour
+	// when its CNode dies: a re-pinned mount pays the retransmission rounds
+	// on its next operation. The zero value keeps failover instantaneous
+	// (the pre-fault-model behaviour).
+	Retry netsim.RetryPolicy
 	// ReductionRatio is the similarity-reduction factor applied before
 	// data reaches QLC (bytes on flash = bytes written / ratio). Values
 	// below 1 are treated as 1.
@@ -110,6 +116,9 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("vast %s: missing transport", c.Name)
 	case c.ClientCacheBytes > 0 && c.CacheBlockBytes <= 0:
 		return fmt.Errorf("vast %s: client cache needs a block size", c.Name)
+	}
+	if err := c.Retry.Validate(); err != nil {
+		return fmt.Errorf("vast %s: %w", c.Name, err)
 	}
 	return nil
 }
@@ -138,9 +147,12 @@ type System struct {
 	staging *stager
 
 	// failed marks out-of-service CNodes (see failover.go); clients holds
-	// every mount for failover re-pinning.
-	failed  []bool
-	clients []*client
+	// every mount for failover re-pinning. linkHealth is the prevailing
+	// cluster-wide link derate applied by the fault injector, remembered so
+	// recovering CNodes come back at the right capacity.
+	failed     []bool
+	clients    []*client
+	linkHealth float64
 
 	nextCNode int
 }
@@ -150,7 +162,8 @@ func New(env *sim.Env, fab *sim.Fabric, cfg Config) (*System, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	s := &System{cfg: cfg, env: env, fab: fab, ns: fsapi.NewNamespace(), failed: make([]bool, cfg.CNodes)}
+	s := &System{cfg: cfg, env: env, fab: fab, ns: fsapi.NewNamespace(),
+		failed: make([]bool, cfg.CNodes), linkHealth: 1}
 	for i := 0; i < cfg.CNodes; i++ {
 		s.cnodeNIC = append(s.cnodeNIC,
 			netsim.NewDuplex(fab, fmt.Sprintf("%s/cnode%d/nic", cfg.Name, i), cfg.CNodeNICBW, 2*time.Microsecond))
@@ -247,12 +260,13 @@ func (s *System) FabricPipes() (up, down *sim.Pipe) { return s.fabricUp, s.fabri
 // mount is pinned to a CNode round-robin, as the NFS automounter spreads
 // clients across the VIP pool.
 func (s *System) Mount(node string, nic *netsim.Iface) fsapi.Client {
-	cn := s.nextCNode % s.cfg.CNodes
+	home := s.nextCNode % s.cfg.CNodes
 	s.nextCNode++
+	cn := home
 	if s.failed[cn] {
 		cn = s.nextHealthy(cn)
 	}
-	cl := &client{sys: s, nic: nic, cnode: cn}
+	cl := &client{sys: s, nic: nic, cnode: cn, home: home}
 	s.clients = append(s.clients, cl)
 	var pc *cache.Cache
 	if s.cfg.ClientCacheBytes > 0 {
@@ -278,6 +292,13 @@ type client struct {
 	sys   *System
 	nic   *netsim.Iface
 	cnode int
+	// home is the CNode the automounter originally assigned (round-robin at
+	// mount time); recovery re-balancing pins the client back to it.
+	home int
+	// stale marks a mount whose CNode assignment just changed under it
+	// (failover or recovery re-balance): the next operation pays the NFS
+	// retransmit penalty before using the new path.
+	stale bool
 	core  fsbase.ClientCore
 
 	// Resolved paths are cached per mount: op-level workloads resolve the
@@ -308,6 +329,30 @@ func (c *client) Remove(p *sim.Proc, path string) { c.core.Remove(p, path) }
 
 // DropCaches implements fsapi.Client.
 func (c *client) DropCaches() { c.core.DropCaches() }
+
+// maybeRetry charges the NFS retransmission penalty on the first operation
+// after the client's CNode assignment changed under it (failover or
+// recovery re-balance). With no retry policy configured the re-pin is
+// instantaneous — the pre-fault-model behaviour. A soft mount that
+// exhausts its retry budget proceeds anyway: the simulator has no error
+// channel at the fsapi layer, so the budget only bounds the time paid.
+func (c *client) maybeRetry(p *sim.Proc) {
+	if !c.stale {
+		return
+	}
+	c.stale = false
+	if !c.sys.cfg.Retry.Enabled() {
+		return
+	}
+	c.sys.cfg.Retry.Retry(p, func() bool {
+		if c.sys.failed[c.cnode] {
+			// The replacement died during the backoff; chase the VIP again.
+			c.cnode = c.sys.nextHealthy(c.cnode)
+			return false
+		}
+		return true
+	})
+}
 
 // writePath resolves the pipes of a client→SCM write stream (cached per
 // mount until a CNode failover re-pins the client).
@@ -362,6 +407,7 @@ func (c *client) rebuildPaths() {
 // flow from the client through gateway/rails, the CNode's reduction engine
 // and the fabric into the SCM staging pool.
 func (c *client) StreamWrite(p *sim.Proc, path string, a fsapi.Access, ioSize, total int64) {
+	c.maybeRetry(p)
 	ino := c.sys.ns.Create(path, false)
 	c.sys.ns.Extend(ino, 0, total)
 	c.sys.staging.admit(p, total)
@@ -374,6 +420,7 @@ func (c *client) StreamWrite(p *sim.Proc, path string, a fsapi.Access, ioSize, t
 // blocking-request ceiling (no readahead pipelining over NFS for random
 // offsets).
 func (c *client) StreamRead(p *sim.Proc, path string, a fsapi.Access, ioSize, total int64) {
+	c.maybeRetry(p)
 	pa := c.readPath()
 	capBps := pa.FlowCap
 	if a == fsapi.Random {
@@ -391,6 +438,7 @@ func (c *client) StreamRead(p *sim.Proc, path string, a fsapi.Access, ioSize, to
 // commit to SCM replicas.
 func (b *backend) OpWrite(p *sim.Proc, ino *fsapi.Inode, off, n int64) {
 	c := (*client)(b)
+	c.maybeRetry(p)
 	c.sys.staging.admit(p, n)
 	pa := c.writePath()
 	if pa.RPCLatency > 0 {
@@ -405,6 +453,7 @@ func (b *backend) OpWrite(p *sim.Proc, ino *fsapi.Inode, off, n int64) {
 // from the DNode cache or the QLC backbone.
 func (b *backend) OpRead(p *sim.Proc, ino *fsapi.Inode, off, n int64) {
 	c := (*client)(b)
+	c.maybeRetry(p)
 	s := c.sys
 	pa := c.readPath()
 	if d := pa.RPCLatency + s.cfg.MetaLatency; d > 0 {
@@ -435,6 +484,7 @@ func (b *backend) OpCommit(p *sim.Proc, ino *fsapi.Inode) {}
 // OpenLatency implements fsbase.Backend: one metadata round trip.
 func (b *backend) OpenLatency(p *sim.Proc, ino *fsapi.Inode) {
 	c := (*client)(b)
+	c.maybeRetry(p)
 	pa := c.readPath()
 	if d := pa.RPCLatency + c.sys.cfg.MetaLatency; d > 0 {
 		p.Sleep(d)

@@ -37,6 +37,7 @@ import (
 	"storagesim/internal/cluster"
 	"storagesim/internal/dlio"
 	"storagesim/internal/experiments"
+	"storagesim/internal/faults"
 	"storagesim/internal/fsapi"
 	"storagesim/internal/gpfs"
 	"storagesim/internal/ior"
@@ -94,6 +95,15 @@ type (
 	NVMeSystem   = nvmelocal.System
 	// VASTConfig is the VAST deployment parameter set (for custom builds).
 	VASTConfig = vast.Config
+	// FaultSchedule is a timed list of fault events to inject into a run.
+	FaultSchedule = faults.Schedule
+	// FaultEvent is one scheduled fault or repair.
+	FaultEvent = faults.Event
+	// FaultInjector arms schedules on registered targets.
+	FaultInjector = faults.Injector
+	// FaultTarget is the interface every storage deployment implements for
+	// fault injection.
+	FaultTarget = faults.Target
 )
 
 // IOR workload personalities (Section V).
@@ -102,6 +112,24 @@ const (
 	Analytics  = ior.Analytics
 	ML         = ior.ML
 )
+
+// Fault event kinds (see internal/faults for the schedule semantics).
+const (
+	ServerFail    = faults.ServerFail
+	ServerRecover = faults.ServerRecover
+	LinkDerate    = faults.LinkDerate
+	LinkRestore   = faults.LinkRestore
+	MediaDerate   = faults.MediaDerate
+	MediaRestore  = faults.MediaRestore
+)
+
+// ParseFaultSchedule parses the JSON fault-schedule format consumed by
+// `iorbench -faults`.
+func ParseFaultSchedule(data []byte) (FaultSchedule, error) { return faults.ParseSchedule(data) }
+
+// NewFaultInjector returns an injector delivering schedules through env's
+// event calendar.
+func NewFaultInjector(env *Env) *FaultInjector { return faults.NewInjector(env) }
 
 // Access patterns.
 const (
@@ -298,6 +326,9 @@ var (
 	// FailoverStudy exercises VAST's stateless-CNode failover (Section
 	// III-A.2) in degraded mode.
 	FailoverStudy = experiments.FailoverStudy
+	// DegradedSweep sweeps the fraction of failed servers per deployment
+	// under the schedule-driven fault-injection engine.
+	DegradedSweep = experiments.DegradedSweep
 	// AblationUnifyFS sweeps UnifyFS's placement and I/O-server policies
 	// (the Section I configurability example).
 	AblationUnifyFS = experiments.AblationUnifyFS
