@@ -1,15 +1,17 @@
 # Development targets. `make check` is the smoke gate: vet + build + the
-# race-enabled tests of the packages the fabric solver rewrite and the
-# fault-injection engine touch + one iteration of the solver
-# micro-benchmarks (catches benchmark rot without paying for stable
-# timings) + a 10s fuzz pass over each input parser.
+# race-enabled tests of the packages the fabric solver rewrite, the
+# fault-injection engine and the self-healing layer touch + one iteration
+# of the solver micro-benchmarks (catches benchmark rot without paying for
+# stable timings) + a 10s fuzz pass over each input parser + the seeded
+# chaos storms (three pinned seeds per backend, zero invariant violations,
+# byte-deterministic digests).
 
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test race bench-smoke fuzz-smoke bench test-all
+.PHONY: check vet build test race bench-smoke fuzz-smoke chaos-smoke bench test-all
 
-check: vet build race bench-smoke fuzz-smoke
+check: vet build race bench-smoke fuzz-smoke chaos-smoke
 
 vet:
 	$(GO) vet ./...
@@ -22,7 +24,7 @@ test:
 
 race:
 	$(GO) test -race ./internal/sim/... ./internal/experiments/... \
-		./internal/faults/... ./internal/vast/...
+		./internal/faults/... ./internal/vast/... ./internal/repair/...
 
 bench-smoke:
 	$(GO) test ./internal/sim/ -run XXX -bench BenchmarkFabricSolver -benchtime=1x
@@ -33,6 +35,12 @@ fuzz-smoke:
 	$(GO) test ./internal/units -run XXX -fuzz FuzzParseSize -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/units -run XXX -fuzz FuzzParseDuration -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/faults -run XXX -fuzz FuzzSchedule -fuzztime $(FUZZTIME)
+
+# Seeded chaos gate: three pinned storms per backend through the repair
+# manager with the invariant suite attached. Reproduce one storm by hand
+# with `iorbench -fs <fs> -chaos seed=N`.
+chaos-smoke:
+	$(GO) test ./internal/experiments -run 'TestChaos(Smoke|StormDeterministic)' -count=1
 
 # Full solver benchmark grid with stable-ish timings.
 bench:

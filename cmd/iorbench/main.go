@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	storagesim "storagesim"
@@ -41,7 +42,15 @@ func main() {
 	seed := flag.Uint64("seed", 42, "seed")
 	bottlenecks := flag.Int("bottlenecks", 0, "report the N busiest pipes after the run (what limited the number)")
 	faultsFile := flag.String("faults", "", "JSON fault schedule to inject during the run (see internal/faults)")
+	chaosSpec := flag.String("chaos", "", "run a seeded chaos storm against -fs instead of a benchmark (seed=N, decimal or 0x hex)")
 	flag.Parse()
+
+	if *chaosSpec != "" {
+		if err := runChaos(experiments.FS(strings.ToLower(*fs)), *chaosSpec); err != nil {
+			fail(err)
+		}
+		return
+	}
 
 	var sched faults.Schedule
 	if *faultsFile != "" {
@@ -127,6 +136,35 @@ func main() {
 				i+1, pu.Name, 100*pu.Utilization, units.BPS(pu.Capacity))
 		}
 	}
+}
+
+// runChaos replays one seeded fault storm on the backend's canonical
+// testbed with the invariant suite attached and prints the deterministic
+// digest; any invariant violation is fatal. The same seed reproduces the
+// storm, the run and the digest byte-for-byte.
+func runChaos(fs experiments.FS, spec string) error {
+	seed, err := strconv.ParseUint(strings.TrimPrefix(spec, "seed="), 0, 64)
+	if err != nil {
+		return fmt.Errorf("-chaos: want seed=N, got %q: %v", spec, err)
+	}
+	rep, err := storagesim.RunChaosStorm(fs, seed, storagesim.ExperimentOptions{Quick: true})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("chaos %s/%s seed=%#x\n", rep.Backend, rep.Machine, rep.Seed)
+	fmt.Printf("  events delivered: %d\n", rep.Delivered)
+	fmt.Printf("  foreground write: %s aggregate\n", units.BPS(rep.WriteBW))
+	fmt.Printf("  rebuilds: %d (%s reconstructed)\n", rep.Rebuilds, units.Bytes(int64(rep.RebuiltBytes)))
+	fmt.Printf("  losses:   %d (%s lost)\n", rep.Losses, units.Bytes(int64(rep.LostBytes)))
+	fmt.Printf("  digest:   %s\n", rep.Digest())
+	if len(rep.Violations) > 0 {
+		for _, v := range rep.Violations {
+			fmt.Fprintf(os.Stderr, "  VIOLATION: %s\n", v)
+		}
+		return fmt.Errorf("%d invariant violation(s)", len(rep.Violations))
+	}
+	fmt.Println("  invariants: all held")
+	return nil
 }
 
 func parseWorkload(s string) (ior.Workload, error) {

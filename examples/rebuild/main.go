@@ -1,0 +1,98 @@
+// Self-healing walkthrough: fail one VAST DBox mid-run and let the
+// repair manager rebuild it while the benchmark keeps writing. The same
+// IOR job runs three times — never failed, failure healed by a throttled
+// rebuild, failure healed by an aggressive rebuild — and the write times
+// show the trade-off the rebuild-rate knob buys: an aggressive rebuild
+// contends for the fabric while it runs but restores full capacity and
+// redundancy quickly; a throttled rebuild barely contends yet leaves the
+// pool degraded — and one failure away from data loss — for many times
+// longer.
+//
+//	go run ./examples/rebuild
+//
+// The figure version of this experiment is `paperfigs -fig rebuild`; a
+// randomized storm over the same machinery is
+// `iorbench -fs vast -chaos seed=N`.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	storagesim "storagesim"
+)
+
+func main() {
+	cfg := storagesim.IORConfig{
+		Workload:     storagesim.Scientific, // sequential write
+		BlockSize:    1 << 20,
+		TransferSize: 1 << 20,
+		Segments:     24,
+		ProcsPerNode: 4,
+		OpLevel:      true, // per-op path resolution, so degraded state is live
+		Seed:         42,
+		Dir:          "/rebuild",
+	}
+	const nodes = 2
+
+	// Reference: the clean run also sizes the failure instant.
+	clean, _, err := storagesim.RunIORWithRepair("Wombat", storagesim.FSVAST,
+		nodes, cfg, storagesim.FaultSchedule{}, storagesim.RepairAggressive())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-12s write %6.2f GB/s in %v\n", "clean", clean.WriteBW/1e9, clean.WriteTime)
+
+	// DBox 0 dies a quarter into the run. Within EC tolerance, so the
+	// manager spawns a rebuild instead of reporting loss; the rebuild's
+	// flows cross the same QLC backbone the benchmark writes through.
+	sched := storagesim.FaultSchedule{Events: []storagesim.FaultEvent{
+		{At: clean.WriteTime / 4, Kind: storagesim.UnitFail, Index: 0},
+	}}
+
+	for _, mode := range []struct {
+		name string
+		qos  storagesim.RepairQoS
+	}{
+		// Throttled: repair trickles at 1 GB/s, foreground keeps the rest.
+		{"throttled", storagesim.RepairThrottled(1e9)},
+		// Aggressive: repair flows take their max-min fair share.
+		{"aggressive", storagesim.RepairAggressive()},
+	} {
+		// Floor the rebuild volume: a real DBox holds far more live data
+		// than this quick benchmark writes.
+		mode.qos.MinBytes = 256 << 20
+		res, mgr, err := storagesim.RunIORWithRepair("Wombat", storagesim.FSVAST,
+			nodes, cfg, sched, mode.qos)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s write %6.2f GB/s in %v\n", mode.name, res.WriteBW/1e9, res.WriteTime)
+		for _, j := range mgr.Jobs() {
+			fmt.Printf("             rebuilt unit %d: %.0f MiB in %v\n",
+				j.Unit, j.Bytes/(1<<20), j.End.Sub(j.Start))
+		}
+		if err := mgr.CheckComplete(); err != nil {
+			log.Fatalf("%s: %v", mode.name, err)
+		}
+	}
+
+	// The same machinery under a randomized (but seeded, so perfectly
+	// reproducible) fault storm, with the invariant suite attached.
+	rep, err := storagesim.RunChaosStorm(storagesim.FSVAST, 0x5eed1,
+		storagesim.ExperimentOptions{Quick: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nchaos storm: %s\n", rep.Digest())
+	if len(rep.Violations) > 0 {
+		log.Fatalf("invariant violations: %v", rep.Violations)
+	}
+
+	fmt.Println("\nBoth healed runs land between the clean run and a failure that")
+	fmt.Println("never heals. The knob picks where the cost lands: the aggressive")
+	fmt.Println("rebuild contends for the QLC backbone but restores full capacity")
+	fmt.Println("within the run, while the throttled rebuild barely contends yet")
+	fmt.Println("leaves the pool degraded — and one failure away from data loss —")
+	fmt.Println("long after the benchmark ends.")
+}

@@ -43,19 +43,32 @@ const (
 	MediaDerate Kind = "media-derate"
 	// MediaRestore returns the media to full health.
 	MediaRestore Kind = "media-restore"
+	// UnitFail takes redundancy unit Index out of service: the granularity
+	// data protection works at (a VAST DBox enclosure, a GPFS NSD server's
+	// RAID array, an OSS's OSTs, a burst-buffer node's SSD). Only targets
+	// implementing UnitTarget accept it.
+	UnitFail Kind = "unit-fail"
+	// UnitRecover returns a failed redundancy unit to service.
+	UnitRecover Kind = "unit-recover"
 )
 
 // valid reports whether k is part of the vocabulary.
 func (k Kind) valid() bool {
 	switch k {
-	case ServerFail, ServerRecover, LinkDerate, LinkRestore, MediaDerate, MediaRestore:
+	case ServerFail, ServerRecover, LinkDerate, LinkRestore, MediaDerate, MediaRestore,
+		UnitFail, UnitRecover:
 		return true
 	}
 	return false
 }
 
-// needsIndex reports whether the kind addresses one server.
-func (k Kind) needsIndex() bool { return k == ServerFail || k == ServerRecover }
+// needsIndex reports whether the kind addresses one server or unit.
+func (k Kind) needsIndex() bool {
+	return k == ServerFail || k == ServerRecover || k == UnitFail || k == UnitRecover
+}
+
+// needsUnits reports whether the kind addresses a redundancy unit.
+func (k Kind) needsUnits() bool { return k == UnitFail || k == UnitRecover }
 
 // needsFactor reports whether the kind carries a derate factor.
 func (k Kind) needsFactor() bool { return k == LinkDerate || k == MediaDerate }
@@ -157,6 +170,25 @@ type Target interface {
 	SetMediaHealth(f float64)
 }
 
+// UnitTarget is a Target whose storage is organized into failable
+// redundancy units — the granularity data protection works at, which is
+// not always the server granularity (a VAST CNode is stateless; the unit
+// is the DBox enclosure behind it). Backends implement it to accept
+// UnitFail/UnitRecover events; internal/repair layers rebuild jobs and
+// loss accounting on top of the same interface.
+type UnitTarget interface {
+	Target
+	// FaultUnits returns how many individually failable redundancy units
+	// the backend has.
+	FaultUnits() int
+	// FailUnit takes unit i out of service (media loss: the enclosure, the
+	// RAID array, the node's SSD).
+	FailUnit(i int)
+	// RecoverUnit returns a failed unit to service at full nominal
+	// capacity; recovering a healthy unit is a no-op.
+	RecoverUnit(i int)
+}
+
 // Applied is one delivered event, recorded for tests and reports.
 type Applied struct {
 	At    sim.Time
@@ -230,7 +262,17 @@ func (in *Injector) Apply(s Schedule) error {
 		if err != nil {
 			return fmt.Errorf("event %d: %w", i, err)
 		}
-		if ev.Kind.needsIndex() && ev.Index >= t.FaultServers() {
+		if ev.Kind.needsUnits() {
+			ut, ok := t.(UnitTarget)
+			if !ok {
+				return fmt.Errorf("event %d: %s target %q has no redundancy units",
+					i, ev.Kind, ev.Target)
+			}
+			if ev.Index >= ut.FaultUnits() {
+				return fmt.Errorf("event %d: %s index %d out of range (target has %d units)",
+					i, ev.Kind, ev.Index, ut.FaultUnits())
+			}
+		} else if ev.Kind.needsIndex() && ev.Index >= t.FaultServers() {
 			return fmt.Errorf("event %d: %s index %d out of range (target has %d servers)",
 				i, ev.Kind, ev.Index, t.FaultServers())
 		}
@@ -261,6 +303,10 @@ func (in *Injector) deliver(t Target, ev Event) {
 		t.SetMediaHealth(ev.Factor)
 	case MediaRestore:
 		t.SetMediaHealth(1)
+	case UnitFail:
+		t.(UnitTarget).FailUnit(ev.Index) // asserted at Apply
+	case UnitRecover:
+		t.(UnitTarget).RecoverUnit(ev.Index)
 	}
 	in.applied = append(in.applied, Applied{At: in.env.Now(), Event: ev})
 }

@@ -21,6 +21,16 @@ func (f *fakeTarget) RecoverServer(i int)      { f.calls = append(f.calls, "reco
 func (f *fakeTarget) SetLinkHealth(v float64)  { f.calls = append(f.calls, "link", ftoa(v)) }
 func (f *fakeTarget) SetMediaHealth(v float64) { f.calls = append(f.calls, "media", ftoa(v)) }
 
+// fakeUnitTarget adds redundancy units to fakeTarget.
+type fakeUnitTarget struct {
+	fakeTarget
+	units int
+}
+
+func (f *fakeUnitTarget) FaultUnits() int   { return f.units }
+func (f *fakeUnitTarget) FailUnit(i int)    { f.calls = append(f.calls, "unit-fail", itoa(i)) }
+func (f *fakeUnitTarget) RecoverUnit(i int) { f.calls = append(f.calls, "unit-recover", itoa(i)) }
+
 func itoa(i int) string     { return string(rune('0' + i)) }
 func ftoa(v float64) string { return string(rune('0' + int(v*10))) }
 
@@ -30,14 +40,19 @@ func TestParseSchedule(t *testing.T) {
 		{"at": "40ms", "kind": "server-recover", "target": "vast", "index": 0},
 		{"at": "5ms", "kind": "link-derate", "factor": 0.5},
 		{"at": "1.5", "kind": "media-derate", "factor": 0.8},
-		{"at": "2s", "kind": "link-restore"}
+		{"at": "2s", "kind": "link-restore"},
+		{"at": "20ms", "kind": "unit-fail", "target": "vast", "index": 1},
+		{"at": "80ms", "kind": "unit-recover", "target": "vast", "index": 1}
 	]}`)
 	s, err := ParseSchedule(data)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(s.Events) != 5 {
-		t.Fatalf("parsed %d events, want 5", len(s.Events))
+	if len(s.Events) != 7 {
+		t.Fatalf("parsed %d events, want 7", len(s.Events))
+	}
+	if s.Events[5].Kind != UnitFail || s.Events[5].Index != 1 {
+		t.Fatalf("unit-fail parsed wrong: %+v", s.Events[5])
 	}
 	if s.Events[0].At != sim.Duration(10*time.Millisecond) || s.Events[0].Index != 0 {
 		t.Fatalf("event 0 parsed wrong: %+v", s.Events[0])
@@ -62,6 +77,8 @@ func TestParseScheduleRejects(t *testing.T) {
 		"trailing document": `{"events":[]}{"events":[]}`,
 		"bad duration":      `{"events":[{"at":"soon","kind":"link-restore"}]}`,
 		"nan duration":      `{"events":[{"at":"NaN","kind":"link-restore"}]}`,
+		"unit-fail no idx":  `{"events":[{"at":"1s","kind":"unit-fail"}]}`,
+		"factor on unit":    `{"events":[{"at":"1s","kind":"unit-recover","index":0,"factor":0.5}]}`,
 	}
 	for name, data := range cases {
 		if _, err := ParseSchedule([]byte(data)); err == nil {
@@ -75,6 +92,8 @@ func TestScheduleMarshalRoundTrip(t *testing.T) {
 		{At: sim.Duration(10 * time.Millisecond), Kind: ServerFail, Target: "vast", Index: 2},
 		{At: sim.Duration(time.Second), Kind: LinkDerate, Factor: 0.25},
 		{At: sim.Duration(2 * time.Second), Kind: MediaRestore},
+		{At: sim.Duration(3 * time.Second), Kind: UnitFail, Target: "vast", Index: 1},
+		{At: sim.Duration(4 * time.Second), Kind: UnitRecover, Target: "vast", Index: 1},
 	}}
 	data, err := json.Marshal(s)
 	if err != nil {
@@ -148,9 +167,39 @@ func TestInjectorValidation(t *testing.T) {
 	if err == nil || !strings.Contains(err.Error(), "out of range") {
 		t.Fatalf("out-of-range index accepted: %v", err)
 	}
+	// Unit events against a target without redundancy units.
+	err = inj.Apply(Schedule{Events: []Event{{Kind: UnitFail, Target: "a", Index: 0}}})
+	if err == nil || !strings.Contains(err.Error(), "no redundancy units") {
+		t.Fatalf("unit-fail on unitless target accepted: %v", err)
+	}
+	// Unit index validated against FaultUnits, not FaultServers.
+	inj.Register("u", &fakeUnitTarget{fakeTarget: fakeTarget{servers: 9}, units: 3})
+	err = inj.Apply(Schedule{Events: []Event{{Kind: UnitFail, Target: "u", Index: 3}}})
+	if err == nil || !strings.Contains(err.Error(), "3 units") {
+		t.Fatalf("out-of-range unit index accepted: %v", err)
+	}
 	// Nothing may have been armed by the failed applies.
 	if n := env.Pending(); n != 0 {
 		t.Fatalf("failed Apply armed %d events", n)
+	}
+}
+
+func TestInjectorDeliversUnitEvents(t *testing.T) {
+	env := sim.NewEnv()
+	tgt := &fakeUnitTarget{fakeTarget: fakeTarget{servers: 2}, units: 4}
+	inj := NewInjector(env)
+	inj.Register("fs", tgt)
+	sched := Schedule{Events: []Event{
+		{At: sim.Duration(10 * time.Millisecond), Kind: UnitFail, Index: 3},
+		{At: sim.Duration(20 * time.Millisecond), Kind: UnitRecover, Index: 3},
+	}}
+	if err := inj.Apply(sched); err != nil {
+		t.Fatal(err)
+	}
+	env.Run()
+	want := []string{"unit-fail", "3", "unit-recover", "3"}
+	if got := strings.Join(tgt.calls, ","); got != strings.Join(want, ",") {
+		t.Fatalf("unit delivery %v, want %v", tgt.calls, want)
 	}
 }
 

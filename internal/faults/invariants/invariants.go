@@ -81,11 +81,20 @@ func (c *Checker) sample() {
 	}
 	for _, p := range c.fab.Pipes() {
 		capBps := p.Capacity()
+		alloc := p.AllocatedRate()
 		// Tolerance for the solver's float math: parts-per-billion relative
 		// plus a sub-byte/sec absolute floor.
-		if alloc := p.AllocatedRate(); alloc > capBps*(1+1e-9)+1e-6 {
+		if alloc > capBps*(1+1e-9)+1e-6 {
 			c.violationf("pipe %s over-allocated at %v: %.3f B/s granted, %.3f B/s capacity",
 				p.Name(), now, alloc, capBps)
+		}
+		// Rebuild (or any other) flows must never push a pipe past its
+		// nominal capacity either: health factors only derate, so the
+		// effective capacity bounds the base, and an allocation above base
+		// means repair traffic was scheduled outside the solver.
+		if base := p.BaseCapacity(); alloc > base*(1+1e-9)+1e-6 {
+			c.violationf("pipe %s pushed past nominal at %v: %.3f B/s granted, %.3f B/s nominal",
+				p.Name(), now, alloc, base)
 		}
 		if h := p.HealthFactor(); h < 0 || h > 1 {
 			c.violationf("pipe %s health factor %g outside [0,1]", p.Name(), h)
@@ -141,6 +150,27 @@ func ConserveBytes(written func() int64, accounted func() int64) func() error {
 		}
 		return nil
 	}
+}
+
+// SteadyStateMatch asserts that a post-rebuild steady-state measurement
+// equals its pre-failure clean counterpart within 1e-9 relative — the
+// self-healing analogue of the no-op pair check: once a rebuild has
+// completed, a probe workload must be indistinguishable from one that ran
+// before the failure, or the rebuild left residual derates behind.
+func SteadyStateMatch(what string, clean, postRebuild float64) error {
+	diff := clean - postRebuild
+	if diff < 0 {
+		diff = -diff
+	}
+	scale := clean
+	if scale < 0 {
+		scale = -scale
+	}
+	if diff > scale*1e-9 {
+		return fmt.Errorf("%s drifted after rebuild: clean %g, post-rebuild %g (relative %g)",
+			what, clean, postRebuild, diff/scale)
+	}
+	return nil
 }
 
 // PipeState is one pipe's capacity state for no-op pair snapshots.

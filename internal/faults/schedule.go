@@ -17,7 +17,8 @@ import (
 //	    {"at": "10ms", "kind": "server-fail",    "target": "vast", "index": 0},
 //	    {"at": "40ms", "kind": "server-recover", "target": "vast", "index": 0},
 //	    {"at": "5ms",  "kind": "link-derate",    "target": "gpfs", "factor": 0.5},
-//	    {"at": "1.2",  "kind": "media-derate",   "factor": 0.8}
+//	    {"at": "1.2",  "kind": "media-derate",   "factor": 0.8},
+//	    {"at": "20ms", "kind": "unit-fail",      "target": "vast", "index": 1}
 //	  ]
 //	}
 //

@@ -137,6 +137,17 @@ func (ns *Namespace) Remove(path string) *Inode {
 // Len returns the number of files.
 func (ns *Namespace) Len() int { return len(ns.byPath) }
 
+// TotalBytes sums every file's size — the live data a redundancy scheme
+// must reconstruct after a unit loss. The map iteration order is
+// irrelevant: integer addition commutes, so the sum is deterministic.
+func (ns *Namespace) TotalBytes() int64 {
+	var total int64
+	for _, ino := range ns.byPath {
+		total += ino.Size
+	}
+	return total
+}
+
 // ValidateRead panics when a read exceeds the file size: benchmarks always
 // read what they (or a peer) wrote, so an overrun is a harness bug.
 func ValidateRead(ino *Inode, off, n int64) {

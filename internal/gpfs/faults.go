@@ -27,6 +27,7 @@ func (s *System) FailNSD(i int) {
 		panic(fmt.Sprintf("gpfs %s: cannot fail the last healthy NSD server", s.cfg.Name))
 	}
 	s.failed[i] = true
+	s.rebuilt[i] = 0
 	s.applyHealth()
 }
 
@@ -37,6 +38,7 @@ func (s *System) RecoverNSD(i int) {
 		return
 	}
 	s.failed[i] = false
+	s.rebuilt[i] = 0
 	s.applyHealth()
 }
 
@@ -53,10 +55,26 @@ func (s *System) healthyNSDs() int {
 	return n
 }
 
+// healthyFraction is the pools' effective share: whole healthy servers
+// plus the rebuilt fractions of failed ones. With nothing failed the sum
+// of zeros keeps the division exact, so fail/recover pairs still restore
+// bit-identical nominal capacity.
+func (s *System) healthyFraction() float64 {
+	sum := float64(s.healthyNSDs())
+	for i := 0; i < s.cfg.NSDServers; i++ {
+		if s.failed[i] {
+			sum += s.rebuilt[i]
+		}
+	}
+	return sum / float64(s.cfg.NSDServers)
+}
+
 // applyHealth scales the pooled pipes and the RAID pool to the healthy
-// fraction combined with the prevailing cluster-wide derates.
+// fraction combined with the prevailing cluster-wide derates. A failed
+// server mid-rebuild contributes its reconstructed fraction (repair.go),
+// so pool capacity recovers incrementally instead of snapping back.
 func (s *System) applyHealth() {
-	frac := float64(s.healthyNSDs()) / float64(s.cfg.NSDServers)
+	frac := s.healthyFraction()
 	s.nsdUp.SetHealthFactor(frac * s.linkHealth)
 	s.nsdDown.SetHealthFactor(frac * s.linkHealth)
 	s.serverMem.SetHealthFactor(frac * s.linkHealth)

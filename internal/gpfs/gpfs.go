@@ -91,7 +91,11 @@ type System struct {
 
 	// Fault state (see faults.go): failed marks out-of-service NSD servers;
 	// linkHealth and mediaHealth are the prevailing cluster-wide derates.
+	// rebuilt is each failed server's reconstructed fraction (see
+	// repair.go): a server 60% rebuilt contributes 0.6 of its share to the
+	// pools, so health recovers incrementally as a rebuild progresses.
 	failed      []bool
+	rebuilt     []float64
 	linkHealth  float64
 	mediaHealth float64
 }
@@ -102,7 +106,8 @@ func New(env *sim.Env, fab *sim.Fabric, cfg Config) (*System, error) {
 		return nil, err
 	}
 	s := &System{cfg: cfg, env: env, fab: fab, ns: fsapi.NewNamespace(),
-		failed: make([]bool, cfg.NSDServers), linkHealth: 1, mediaHealth: 1}
+		failed: make([]bool, cfg.NSDServers), rebuilt: make([]float64, cfg.NSDServers),
+		linkHealth: 1, mediaHealth: 1}
 	poolBW := cfg.ServerNICBW * float64(cfg.NSDServers)
 	s.nsdUp = fab.NewPipe(cfg.Name+"/nsd/up", poolBW, 2*time.Microsecond)
 	s.nsdDown = fab.NewPipe(cfg.Name+"/nsd/down", poolBW, 2*time.Microsecond)
@@ -148,6 +153,11 @@ func (s *System) Derate(f float64) {
 
 // Raid exposes the pooled storage array (inspection and tests).
 func (s *System) Raid() *device.Device { return s.raid }
+
+// NSDPipes exposes the pooled NSD NIC pipes. Foreground client traffic
+// crosses them while rebuild flows stay inside the RAID pool, so sampling
+// bytes moved here isolates foreground bandwidth during a rebuild.
+func (s *System) NSDPipes() (up, down *sim.Pipe) { return s.nsdUp, s.nsdDown }
 
 // Mount attaches a compute node. Each mount gets its own client-stack
 // pipes: the per-node ceilings of the GPFS client (pagepool copy, NSD

@@ -76,6 +76,11 @@ type Config struct {
 	Seed uint64
 	// Dir prefixes the per-rank file names.
 	Dir string
+	// OnSegment, when set on an op-level run, is called as each rank
+	// finishes a segment (rank, completion time, segment bytes) —
+	// samplers use it to trace delivered foreground bandwidth over time
+	// without touching fabric internals.
+	OnSegment func(rank int, at sim.Time, bytes int64)
 }
 
 // Validate reports the first problem with the config.
@@ -131,6 +136,7 @@ func Run(env *sim.Env, mounts []fsapi.Client, cfg Config) (Result, error) {
 	}
 	ranks := len(mounts) * cfg.ProcsPerNode
 	res := Result{Ranks: ranks, BytesPerRank: cfg.BytesPerRank()}
+	start := env.Now()
 
 	// Phase 1: write. All ranks write their own file (or their interleaved
 	// segments of the shared file) concurrently.
@@ -174,7 +180,7 @@ func Run(env *sim.Env, mounts []fsapi.Client, cfg Config) (Result, error) {
 	})
 	env.Run()
 
-	res.WriteTime = sim.Duration(writeEnd)
+	res.WriteTime = writeEnd.Sub(start)
 	if res.WriteTime > 0 {
 		res.WriteBW = float64(res.BytesPerRank) * float64(ranks) / res.WriteTime.Seconds()
 	}
@@ -221,6 +227,9 @@ func writeRank(p *sim.Proc, cl fsapi.Client, cfg Config, rank, ranks int, locks 
 			if cfg.Fsync {
 				f.Fsync(p)
 			}
+		}
+		if cfg.OnSegment != nil {
+			cfg.OnSegment(rank, p.Now(), cfg.BlockSize)
 		}
 	}
 	f.Close(p)

@@ -26,6 +26,7 @@ func (s *System) FailOSS(i int) {
 		panic(fmt.Sprintf("lustre %s: cannot fail the last healthy OSS", s.cfg.Name))
 	}
 	s.failed[i] = true
+	s.rebuilt[i] = 0
 	s.applyHealth()
 }
 
@@ -36,6 +37,7 @@ func (s *System) RecoverOSS(i int) {
 		return
 	}
 	s.failed[i] = false
+	s.rebuilt[i] = 0
 	s.applyHealth()
 }
 
@@ -52,10 +54,26 @@ func (s *System) healthyOSSes() int {
 	return n
 }
 
+// healthyFraction is the pools' effective share: whole healthy OSSes plus
+// the rebuilt fractions of failed ones. With nothing failed the sum of
+// zeros keeps the division exact, so fail/recover pairs still restore
+// bit-identical nominal capacity.
+func (s *System) healthyFraction() float64 {
+	sum := float64(s.healthyOSSes())
+	for i := 0; i < s.cfg.OSSCount; i++ {
+		if s.failed[i] {
+			sum += s.rebuilt[i]
+		}
+	}
+	return sum / float64(s.cfg.OSSCount)
+}
+
 // applyHealth scales the pooled pipes and the OST pool to the healthy
-// fraction combined with the prevailing cluster-wide derates.
+// fraction combined with the prevailing cluster-wide derates. A failed
+// OSS mid-resilver contributes its rebuilt fraction (repair.go), so pool
+// capacity recovers incrementally instead of snapping back.
 func (s *System) applyHealth() {
-	frac := float64(s.healthyOSSes()) / float64(s.cfg.OSSCount)
+	frac := s.healthyFraction()
 	s.ossUp.SetHealthFactor(frac * s.linkHealth)
 	s.ossDown.SetHealthFactor(frac * s.linkHealth)
 	s.pool.SetHealthFactor(frac * s.mediaHealth)

@@ -76,7 +76,9 @@ type System struct {
 
 	// Fault state (see faults.go): failed marks out-of-service OSSes;
 	// linkHealth and mediaHealth are the prevailing cluster-wide derates.
+	// rebuilt is each failed OSS's resilvered fraction (see repair.go).
 	failed      []bool
+	rebuilt     []float64
 	linkHealth  float64
 	mediaHealth float64
 
@@ -92,7 +94,8 @@ func New(env *sim.Env, fab *sim.Fabric, cfg Config) (*System, error) {
 		return nil, err
 	}
 	s := &System{cfg: cfg, env: env, fab: fab, ns: fsapi.NewNamespace(),
-		failed: make([]bool, cfg.OSSCount), linkHealth: 1, mediaHealth: 1}
+		failed: make([]bool, cfg.OSSCount), rebuilt: make([]float64, cfg.OSSCount),
+		linkHealth: 1, mediaHealth: 1}
 	poolNIC := cfg.ServerNICBW * float64(cfg.OSSCount)
 	s.ossUp = fab.NewPipe(cfg.Name+"/oss/up", poolNIC, 2*time.Microsecond)
 	s.ossDown = fab.NewPipe(cfg.Name+"/oss/down", poolNIC, 2*time.Microsecond)
@@ -117,6 +120,11 @@ func MustNew(env *sim.Env, fab *sim.Fabric, cfg Config) *System {
 
 // Config returns the parameters.
 func (s *System) Config() Config { return s.cfg }
+
+// OSSPipes exposes the pooled OSS NIC pipes (up = client writes in) for
+// samplers that separate foreground traffic from rebuild flows, which
+// cross the OST pool only.
+func (s *System) OSSPipes() (up, down *sim.Pipe) { return s.ossUp, s.ossDown }
 
 // Namespace exposes the shared file table.
 func (s *System) Namespace() *fsapi.Namespace { return s.ns }

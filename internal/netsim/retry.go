@@ -29,6 +29,16 @@ type RetryPolicy struct {
 	// MaxRetries bounds the rounds before the client errors out (soft
 	// mount); 0 retries forever (hard mount).
 	MaxRetries int
+	// MaxElapsed caps the total virtual time a single Retry call may spend
+	// across all rounds — the timeo×retrans envelope as a wall-clock budget,
+	// which exponential backoff alone cannot bound. The final round is
+	// truncated so the cap is exact; 0 means uncapped.
+	MaxElapsed sim.Duration
+	// Jitter adds a per-round delay drawn uniformly from [0, Jitter),
+	// derived deterministically from the flow id and round number, so
+	// concurrent clients retrying against the same dead server desynchronize
+	// without giving up reproducibility. 0 disables jitter.
+	Jitter sim.Duration
 }
 
 // Enabled reports whether the policy models retransmission at all.
@@ -43,8 +53,29 @@ func (rp RetryPolicy) Validate() error {
 		return fmt.Errorf("netsim: negative retry timeout cap")
 	case rp.MaxRetries < 0:
 		return fmt.Errorf("netsim: negative retry budget")
+	case rp.MaxElapsed < 0:
+		return fmt.Errorf("netsim: negative retry elapsed cap")
+	case rp.Jitter < 0:
+		return fmt.Errorf("netsim: negative retry jitter")
 	}
 	return nil
+}
+
+// retryJitter derives the bounded deterministic jitter for one round of one
+// flow: a SplitMix64 finalizer over (flow, round), reduced to [0, bound).
+// Pure function of its inputs, so a fixed seed reproduces every retry
+// timeline byte-for-byte.
+func retryJitter(flowID uint64, round int, bound sim.Duration) sim.Duration {
+	if bound <= 0 {
+		return 0
+	}
+	z := flowID*0x9e3779b97f4a7c15 + uint64(round)*0xbf58476d1ce4e5b9
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return sim.Duration(z % uint64(bound))
 }
 
 // Retry blocks p through timeout-plus-backoff rounds until healthy reports
@@ -54,10 +85,15 @@ func (rp RetryPolicy) Validate() error {
 // healthy is polled after each round, so a server that recovers mid-backoff
 // is noticed at the next retransmit, exactly like a real NFS client.
 //
+// flowID identifies the retrying client (mount index, flow id) and seeds
+// the per-round jitter; callers without a natural id may pass 0.
+//
 // With MaxRetries > 0 the call gives up after that many rounds and returns
-// ok=false (the soft-mount EIO); with MaxRetries == 0 it retries forever,
-// which in a simulation with a finite fault schedule always terminates.
-func (rp RetryPolicy) Retry(p *sim.Proc, healthy func() bool) (retries int, ok bool) {
+// ok=false (the soft-mount EIO); MaxElapsed > 0 bounds the total time spent
+// the same way, truncating the last round to land exactly on the budget.
+// With neither set it retries forever, which in a simulation with a finite
+// fault schedule always terminates.
+func (rp RetryPolicy) Retry(p *sim.Proc, flowID uint64, healthy func() bool) (retries int, ok bool) {
 	if !rp.Enabled() {
 		return 0, healthy()
 	}
@@ -66,14 +102,25 @@ func (rp RetryPolicy) Retry(p *sim.Proc, healthy func() bool) (retries int, ok b
 	if mult < 1 {
 		mult = 1
 	}
+	var elapsed sim.Duration
 	for {
 		retries++
 		if rp.MaxRetries > 0 && retries > rp.MaxRetries {
 			return retries - 1, false
 		}
-		p.Sleep(timeout)
+		round := timeout + retryJitter(flowID, retries, rp.Jitter)
+		exhausted := false
+		if rp.MaxElapsed > 0 && elapsed+round >= rp.MaxElapsed {
+			round = rp.MaxElapsed - elapsed
+			exhausted = true
+		}
+		p.Sleep(round)
+		elapsed += round
 		if healthy() {
 			return retries, true
+		}
+		if exhausted {
+			return retries, false
 		}
 		timeout = sim.Duration(float64(timeout) * mult)
 		if rp.MaxTimeout > 0 && timeout > rp.MaxTimeout {

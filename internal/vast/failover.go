@@ -153,13 +153,13 @@ func (s *System) SetLinkHealth(f float64) {
 		s.reduce[i].SetHealthFactor(f)
 	}
 	s.applyPoolHealth()
-	s.fabricUp.SetHealthFactor(f)
-	s.fabricDown.SetHealthFactor(f)
+	s.applyDBoxHealth()
 }
 
 // SetMediaHealth implements faults.Target: derates the SCM staging tier
-// and the QLC backbone (SSD wear, a rebuilding stripe group).
+// and the QLC backbone (SSD wear, a rebuilding stripe group), composed
+// with the DBox fraction (repair.go).
 func (s *System) SetMediaHealth(f float64) {
-	s.scm.SetHealthFactor(f)
-	s.qlc.SetHealthFactor(f)
+	s.mediaHealth = f
+	s.applyDBoxHealth()
 }

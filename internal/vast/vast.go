@@ -93,6 +93,22 @@ type Config struct {
 	// on its next operation. The zero value keeps failover instantaneous
 	// (the pre-fault-model behaviour).
 	Retry netsim.RetryPolicy
+
+	// ECParity is how many whole-DBox losses the wide-stripe erasure code
+	// survives (Section III-A: stripes span enclosures, so redundancy is
+	// declared per DBox). 0 defaults to min(2, DBoxes-1).
+	ECParity int
+	// StripeBytes is the EC stripe width used to decide which DBox an
+	// extent is homed on (stripe index modulo DBoxes). 0 defaults to 1 MiB.
+	StripeBytes int64
+	// DecodeLatency is the extra per-op latency of reconstructing a read
+	// from parity while the extent's home DBox is degraded. 0 defaults to
+	// 25µs.
+	DecodeLatency sim.Duration
+	// DecodeReadAmp is the QLC read amplification of a degraded read (the
+	// decoder fetches surviving data+parity strips instead of one strip).
+	// Must be >= 1 when set; 0 defaults to 1.5.
+	DecodeReadAmp float64
 	// ReductionRatio is the similarity-reduction factor applied before
 	// data reaches QLC (bytes on flash = bytes written / ratio). Values
 	// below 1 are treated as 1.
@@ -116,6 +132,14 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("vast %s: missing transport", c.Name)
 	case c.ClientCacheBytes > 0 && c.CacheBlockBytes <= 0:
 		return fmt.Errorf("vast %s: client cache needs a block size", c.Name)
+	case c.ECParity < 0 || c.ECParity >= c.DBoxes:
+		return fmt.Errorf("vast %s: EC parity %d must be in [0, DBoxes)", c.Name, c.ECParity)
+	case c.StripeBytes < 0:
+		return fmt.Errorf("vast %s: negative stripe width", c.Name)
+	case c.DecodeLatency < 0:
+		return fmt.Errorf("vast %s: negative decode latency", c.Name)
+	case c.DecodeReadAmp != 0 && c.DecodeReadAmp < 1:
+		return fmt.Errorf("vast %s: decode read amplification %g below 1", c.Name, c.DecodeReadAmp)
 	}
 	if err := c.Retry.Validate(); err != nil {
 		return fmt.Errorf("vast %s: %w", c.Name, err)
@@ -154,6 +178,13 @@ type System struct {
 	clients    []*client
 	linkHealth float64
 
+	// DBox redundancy state (see repair.go): dboxFailed marks degraded
+	// enclosures, dboxRebuilt their reconstructed fractions, mediaHealth
+	// the cluster-wide media derate (composed with the DBox fraction).
+	dboxFailed  []bool
+	dboxRebuilt []float64
+	mediaHealth float64
+
 	nextCNode int
 }
 
@@ -163,7 +194,9 @@ func New(env *sim.Env, fab *sim.Fabric, cfg Config) (*System, error) {
 		return nil, err
 	}
 	s := &System{cfg: cfg, env: env, fab: fab, ns: fsapi.NewNamespace(),
-		failed: make([]bool, cfg.CNodes), linkHealth: 1}
+		failed: make([]bool, cfg.CNodes), linkHealth: 1,
+		dboxFailed: make([]bool, cfg.DBoxes), dboxRebuilt: make([]float64, cfg.DBoxes),
+		mediaHealth: 1}
 	for i := 0; i < cfg.CNodes; i++ {
 		s.cnodeNIC = append(s.cnodeNIC,
 			netsim.NewDuplex(fab, fmt.Sprintf("%s/cnode%d/nic", cfg.Name, i), cfg.CNodeNICBW, 2*time.Microsecond))
@@ -266,7 +299,7 @@ func (s *System) Mount(node string, nic *netsim.Iface) fsapi.Client {
 	if s.failed[cn] {
 		cn = s.nextHealthy(cn)
 	}
-	cl := &client{sys: s, nic: nic, cnode: cn, home: home}
+	cl := &client{sys: s, nic: nic, cnode: cn, home: home, id: uint64(len(s.clients))}
 	s.clients = append(s.clients, cl)
 	var pc *cache.Cache
 	if s.cfg.ClientCacheBytes > 0 {
@@ -292,6 +325,9 @@ type client struct {
 	sys   *System
 	nic   *netsim.Iface
 	cnode int
+	// id is the mount's ordinal, used as the flow id seeding the retry
+	// policy's deterministic jitter.
+	id uint64
 	// home is the CNode the automounter originally assigned (round-robin at
 	// mount time); recovery re-balancing pins the client back to it.
 	home int
@@ -344,7 +380,7 @@ func (c *client) maybeRetry(p *sim.Proc) {
 	if !c.sys.cfg.Retry.Enabled() {
 		return
 	}
-	c.sys.cfg.Retry.Retry(p, func() bool {
+	c.sys.cfg.Retry.Retry(p, c.id, func() bool {
 		if c.sys.failed[c.cnode] {
 			// The replacement died during the backoff; chase the VIP again.
 			c.cnode = c.sys.nextHealthy(c.cnode)
@@ -466,13 +502,13 @@ func (b *backend) OpRead(p *sim.Proc, ino *fsapi.Inode, off, n int64) {
 			s.fab.Transfer(p, pa.Pipes, float64(hit), pa.FlowCap)
 		}
 		for _, m := range misses {
-			s.qlc.Read(p, ino.ID, m.Off, m.Len)
+			s.qlcOpRead(p, ino.ID, m.Off, m.Len)
 			s.fab.Transfer(p, pa.Pipes, float64(m.Len), pa.FlowCap)
 			s.dnodeCache.Insert(ino.ID, m.Off, m.Len, false)
 		}
 		return
 	}
-	s.qlc.Read(p, ino.ID, off, n)
+	s.qlcOpRead(p, ino.ID, off, n)
 	s.fab.Transfer(p, pa.Pipes, float64(n), pa.FlowCap)
 }
 

@@ -45,6 +45,7 @@ import (
 	"storagesim/internal/mdtest"
 	"storagesim/internal/netsim"
 	"storagesim/internal/nvmelocal"
+	"storagesim/internal/repair"
 	"storagesim/internal/replay"
 	"storagesim/internal/sim"
 	"storagesim/internal/trace"
@@ -104,6 +105,30 @@ type (
 	// FaultTarget is the interface every storage deployment implements for
 	// fault injection.
 	FaultTarget = faults.Target
+	// RepairQoS governs background rebuild traffic: RateBps caps the repair
+	// flows (throttled) and zero means fair-share (aggressive).
+	RepairQoS = repair.QoS
+	// RepairScheme describes a deployment's redundancy (EC/declustered
+	// RAID/raidz2/None) and its concurrent-failure tolerance.
+	RepairScheme = repair.Scheme
+	// RepairManager wraps a Protected backend with self-healing: failures
+	// spawn deterministic background rebuild jobs or loss reports.
+	RepairManager = repair.Manager
+	// ChaosReport is the outcome of one seeded chaos storm.
+	ChaosReport = experiments.ChaosReport
+	// FS names a storage deployment for the experiment helpers
+	// (RunIORWithRepair, RunChaosStorm): "vast", "gpfs", "lustre", "nvme"
+	// or "unifyfs".
+	FS = experiments.FS
+)
+
+// Deployment identifiers for the experiment helpers.
+const (
+	FSVAST    = experiments.VAST
+	FSGPFS    = experiments.GPFS
+	FSLustre  = experiments.Lustre
+	FSNVMe    = experiments.NVMe
+	FSUnifyFS = experiments.UnifyFS
 )
 
 // IOR workload personalities (Section V).
@@ -121,6 +146,8 @@ const (
 	LinkRestore   = faults.LinkRestore
 	MediaDerate   = faults.MediaDerate
 	MediaRestore  = faults.MediaRestore
+	UnitFail      = faults.UnitFail
+	UnitRecover   = faults.UnitRecover
 )
 
 // ParseFaultSchedule parses the JSON fault-schedule format consumed by
@@ -329,6 +356,22 @@ var (
 	// DegradedSweep sweeps the fraction of failed servers per deployment
 	// under the schedule-driven fault-injection engine.
 	DegradedSweep = experiments.DegradedSweep
+	// RebuildSweep traces foreground IOR bandwidth over time while a failed
+	// DBox rebuilds under throttled vs. aggressive rebuild QoS.
+	RebuildSweep = experiments.RebuildSweep
+	// RunIORWithRepair runs IOR with the backend wrapped in a self-healing
+	// repair.Manager: scheduled failures spawn contending rebuild flows or
+	// data-loss reports instead of the raw engine's free snap-back.
+	RunIORWithRepair = experiments.RunIORWithRepair
+	// RunChaosStorm runs one seeded randomized fault storm with the full
+	// invariant suite attached and reports a deterministic digest.
+	RunChaosStorm = experiments.RunChaosStorm
+	// ChaosBackends lists the deployments the chaos gate covers.
+	ChaosBackends = experiments.ChaosBackends
+	// RepairThrottled and RepairAggressive are the canonical rebuild QoS
+	// presets.
+	RepairThrottled  = repair.Throttled
+	RepairAggressive = repair.Aggressive
 	// AblationUnifyFS sweeps UnifyFS's placement and I/O-server policies
 	// (the Section I configurability example).
 	AblationUnifyFS = experiments.AblationUnifyFS
