@@ -1,17 +1,18 @@
 # Development targets. `make check` is the smoke gate: vet + build + the
 # race-enabled tests of the packages the fabric solver rewrite, the
-# fault-injection engine and the self-healing layer touch + one iteration
-# of the solver micro-benchmarks (catches benchmark rot without paying for
-# stable timings) + a 10s fuzz pass over each input parser + the seeded
-# chaos storms (three pinned seeds per backend, zero invariant violations,
-# byte-deterministic digests).
+# fault-injection engine and the self-healing layer touch (under both the
+# calendar-queue and reference-heap schedulers) + one iteration of the
+# kernel and solver micro-benchmarks (catches benchmark rot without paying
+# for stable timings) + a 10s fuzz pass over each input parser and the
+# scheduler differential + the seeded chaos storms (three pinned seeds per
+# backend, zero invariant violations, byte-deterministic digests).
 
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test race bench-smoke fuzz-smoke chaos-smoke bench test-all
+.PHONY: check vet build test race reference-smoke bench-smoke fuzz-smoke chaos-smoke bench test-all
 
-check: vet build race bench-smoke fuzz-smoke chaos-smoke
+check: vet build race reference-smoke bench-smoke fuzz-smoke chaos-smoke
 
 vet:
 	$(GO) vet ./...
@@ -25,16 +26,26 @@ test:
 race:
 	$(GO) test -race ./internal/sim/... ./internal/experiments/... \
 		./internal/faults/... ./internal/vast/... ./internal/repair/...
+	$(GO) test -race -tags simreference ./internal/sim/
+
+# The -tags simreference build swaps the DES kernel's calendar queue for the
+# seed's binary-heap scheduler; the whole sim suite (goldens included) must
+# pass identically under both.
+reference-smoke:
+	$(GO) test -tags simreference ./internal/sim/
 
 bench-smoke:
 	$(GO) test ./internal/sim/ -run XXX -bench BenchmarkFabricSolver -benchtime=1x
+	$(GO) test . -run XXX -bench 'BenchmarkKernel' -benchtime=1x
 
-# Each parser gets $(FUZZTIME) of coverage-guided fuzzing. Go allows one
-# -fuzz target per invocation, so this is three short runs.
+# Each parser gets $(FUZZTIME) of coverage-guided fuzzing, and the calendar
+# queue is fuzzed differentially against the reference heap. Go allows one
+# -fuzz target per invocation, so this is four short runs.
 fuzz-smoke:
 	$(GO) test ./internal/units -run XXX -fuzz FuzzParseSize -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/units -run XXX -fuzz FuzzParseDuration -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/faults -run XXX -fuzz FuzzSchedule -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/sim -run XXX -fuzz FuzzWheelVsHeap -fuzztime $(FUZZTIME)
 
 # Seeded chaos gate: three pinned storms per backend through the repair
 # manager with the invariant suite attached. Reproduce one storm by hand
@@ -42,8 +53,15 @@ fuzz-smoke:
 chaos-smoke:
 	$(GO) test ./internal/experiments -run 'TestChaos(Smoke|StormDeterministic)' -count=1
 
-# Full solver benchmark grid with stable-ish timings.
+# Engine + solver + figure benchmark sweep, recorded machine-readably in
+# BENCH_kernel.json (with the pre-overhaul numbers carried along from
+# BENCH_baseline.json). Kernel micro-benchmarks get stable 1s timings; the
+# heavyweight end-to-end benches run a few fixed iterations.
 bench:
-	$(GO) test ./internal/sim/ -run XXX -bench BenchmarkFabricSolver -benchtime=3x -benchmem
+	( $(GO) test . -run XXX -bench 'BenchmarkKernel|BenchmarkFairShareSolver|BenchmarkCacheLookup' -benchtime=1s -benchmem ; \
+	  $(GO) test ./internal/sim/ -run XXX -bench BenchmarkFabricSolver -benchtime=3x -benchmem ; \
+	  $(GO) test . -run XXX -bench 'BenchmarkConsistency|BenchmarkFig2a|BenchmarkFig3$$' -benchtime=1x -benchmem ) \
+	| $(GO) run ./cmd/benchjson -baseline BENCH_baseline.json -o BENCH_kernel.json \
+	    -note "post-overhaul kernel numbers; baseline is the pre-overhaul binary-heap scheduler"
 
 test-all: build test race

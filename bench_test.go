@@ -273,6 +273,7 @@ func BenchmarkMDTest(b *testing.B) {
 // BenchmarkKernelTimerWheel measures raw event throughput of the DES
 // kernel: schedule-and-fire chains with no process switches.
 func BenchmarkKernelTimerWheel(b *testing.B) {
+	b.ReportAllocs()
 	env := sim.NewEnv()
 	n := 0
 	var tick func()
@@ -292,6 +293,7 @@ func BenchmarkKernelTimerWheel(b *testing.B) {
 // BenchmarkKernelProcessSwitch measures the cost of a full process
 // park/resume cycle (two channel handoffs plus calendar traffic).
 func BenchmarkKernelProcessSwitch(b *testing.B) {
+	b.ReportAllocs()
 	env := sim.NewEnv()
 	env.Go("sleeper", func(p *sim.Proc) {
 		for i := 0; i < b.N; i++ {
@@ -305,6 +307,7 @@ func BenchmarkKernelProcessSwitch(b *testing.B) {
 // BenchmarkFairShareSolver measures the max-min solver with 512 concurrent
 // flows over a shared bottleneck joining and leaving.
 func BenchmarkFairShareSolver(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		env := sim.NewEnv()
 		fab := sim.NewFabric(env)
@@ -322,6 +325,7 @@ func BenchmarkFairShareSolver(b *testing.B) {
 
 // BenchmarkCacheLookup measures the LRU page cache hit path.
 func BenchmarkCacheLookup(b *testing.B) {
+	b.ReportAllocs()
 	c := cache.New(cache.Config{BlockSize: 1 << 20, Capacity: 1 << 30})
 	c.Insert(1, 0, 1<<30, false)
 	b.ResetTimer()

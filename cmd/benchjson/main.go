@@ -1,0 +1,136 @@
+// Command benchjson converts `go test -bench` text output on stdin into a
+// stable JSON document mapping benchmark name to its measurements, so CI and
+// the Makefile's bench target can record kernel performance machine-readably.
+//
+// Examples:
+//
+//	go test . -bench Kernel -benchmem | go run ./cmd/benchjson -o BENCH_kernel.json
+//	go test . -bench . -benchmem | go run ./cmd/benchjson -baseline BENCH_baseline.json
+//
+// The output is deterministic for a given input: keys are sorted and no
+// timestamps are embedded. With -baseline, the named JSON file's benchmark
+// map is carried along under "baseline" for side-by-side comparison.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// result holds one benchmark line's measurements. The standard pairs get
+// first-class fields; anything else (custom b.ReportMetric units) lands in
+// Metrics keyed by unit.
+type result struct {
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"b_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+type document struct {
+	Benchmarks map[string]result          `json:"benchmarks"`
+	Baseline   map[string]json.RawMessage `json:"baseline,omitempty"`
+	Note       string                     `json:"note,omitempty"`
+}
+
+// cpuSuffix strips the -N GOMAXPROCS suffix Go appends to benchmark names,
+// so records from machines with different core counts share keys.
+var cpuSuffix = regexp.MustCompile(`-\d+$`)
+
+func parseLine(line string) (string, result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", result{}, false
+	}
+	r := result{Iterations: iters}
+	// The remainder is "value unit" pairs: 21.20 ns/op  0 B/op  0 allocs/op ...
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", result{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			r.BytesPerOp = v
+		case "allocs/op":
+			r.AllocsPerOp = v
+		default:
+			if r.Metrics == nil {
+				r.Metrics = map[string]float64{}
+			}
+			r.Metrics[unit] = v
+		}
+	}
+	return cpuSuffix.ReplaceAllString(fields[0], ""), r, true
+}
+
+func main() {
+	out := flag.String("o", "", "write JSON here instead of stdout")
+	baseline := flag.String("baseline", "", "JSON file whose benchmarks are embedded under \"baseline\"")
+	note := flag.String("note", "", "free-form provenance note carried into the output")
+	flag.Parse()
+
+	doc := document{Benchmarks: map[string]result{}, Note: *note}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if name, r, ok := parseLine(line); ok {
+			doc.Benchmarks[name] = r
+		}
+		// Pass the raw stream through so the human-readable log survives.
+		fmt.Fprintln(os.Stderr, line)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: read stdin:", err)
+		os.Exit(1)
+	}
+	if len(doc.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	if *baseline != "" {
+		raw, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		var base struct {
+			Benchmarks map[string]json.RawMessage `json:"benchmarks"`
+		}
+		if err := json.Unmarshal(raw, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: parse %s: %v\n", *baseline, err)
+			os.Exit(1)
+		}
+		doc.Baseline = base.Benchmarks
+	}
+
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

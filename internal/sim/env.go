@@ -2,6 +2,8 @@ package sim
 
 import (
 	"fmt"
+	"math"
+	"runtime"
 	"sort"
 )
 
@@ -9,48 +11,90 @@ import (
 // the process scheduler. An Env is not safe for use from multiple OS-level
 // goroutines except through the process primitives it hands out; the
 // scheduler itself guarantees that only one simulated process runs at a time.
+//
+// The scheduler has no dedicated goroutine: whichever goroutine holds the
+// baton (initially the Run caller) drains the calendar inline, and resuming
+// a process hands the baton directly to that process's goroutine with a
+// single channel operation. When an event resumes the very process that is
+// draining the calendar — the Sleep-loop pattern — no channel operation or
+// goroutine switch happens at all.
 type Env struct {
-	now    Time
-	seq    uint64
-	events eventHeap
+	now Time
+	seq uint64
+	q   eventQueue
 
-	// baton is the scheduler hand-off channel: a running process sends on
-	// baton when it parks or terminates, returning control to Run.
-	baton chan struct{}
+	// deadline bounds dispatch: Run uses the maximum Time, RunUntil the
+	// caller's deadline. Events beyond it stay queued.
+	deadline Time
+	running  bool
 
-	running bool
+	// mainResume is where Run/RunUntil wait while a process holds the
+	// baton; whichever goroutine drains the calendar hands it back.
+	mainResume chan struct{}
+
+	// stashed is a popped-but-not-yet-run fn event in transit from a worker
+	// to the main goroutine (see dispatch). At most one is ever in flight.
+	stashed *timedEvent
+
 	procs   int // live (started, not yet finished) processes
-	blocked map[*Proc]string
+	blocked []blockedProc
+
+	// freeWorkers are parked goroutines whose process has finished,
+	// available for reuse by the next Go. spawnedWorkers counts actual
+	// goroutine launches (recycling diagnostics).
+	freeWorkers    []*worker
+	spawnedWorkers int
+}
+
+// blockedProc records one process parked on a non-timer wait, for the
+// deadlock report. A slice (with the index mirrored in the Proc) replaces
+// the seed's map so the report order never depends on map iteration and the
+// park hot path never hashes.
+type blockedProc struct {
+	p   *Proc
+	why string
 }
 
 // NewEnv returns an environment with the clock at zero.
 func NewEnv() *Env {
-	return &Env{
-		baton:   make(chan struct{}),
-		blocked: map[*Proc]string{},
-	}
+	return &Env{mainResume: make(chan struct{})}
 }
 
 // Now returns the current virtual time.
 func (e *Env) Now() Time { return e.now }
 
 // Pending returns the number of live events on the calendar — cancelled
-// events are removed immediately and never counted. Periodic observers
-// (the fault-injection invariant sampler) use it to re-arm themselves only
-// while the simulation still has work, so Run can terminate.
-func (e *Env) Pending() int { return e.events.len() }
+// events are dropped from the count immediately and never resurface.
+// Periodic observers (the fault-injection invariant sampler) use it to
+// re-arm themselves only while the simulation still has work, so Run can
+// terminate.
+func (e *Env) Pending() int { return e.q.live() }
+
+// scheduleEvent files a pooled event on the calendar. All scheduling —
+// public Schedule/After, process timers, process starts — funnels through
+// here, so at >= now is a global invariant and the calendar's (at, seq)
+// order is total.
+func (e *Env) scheduleEvent(at Time, kind uint8, fn func(), p *Proc) *timedEvent {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	e.seq++
+	ev := e.q.alloc()
+	ev.at = at
+	ev.seq = e.seq
+	ev.kind = kind
+	ev.fn = fn
+	ev.proc = p
+	e.q.insert(ev)
+	return ev
+}
 
 // Schedule runs fn at time `at`. It returns a handle that can cancel the
 // event before it fires. Scheduling in the past panics: that is always a
 // model bug.
 func (e *Env) Schedule(at Time, fn func()) *EventHandle {
-	if at < e.now {
-		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
-	}
-	e.seq++
-	ev := &timedEvent{at: at, seq: e.seq, fn: fn}
-	e.events.push(ev)
-	return &EventHandle{env: e, ev: ev}
+	ev := e.scheduleEvent(at, evFn, fn, nil)
+	return &EventHandle{env: e, ev: ev, gen: ev.gen}
 }
 
 // After runs fn after duration d.
@@ -62,89 +106,275 @@ func (e *Env) After(d Duration, fn func()) *EventHandle {
 type EventHandle struct {
 	env *Env
 	ev  *timedEvent
+	// gen snapshots the event's generation at schedule time. Events are
+	// pooled and recycled after they fire or cancel; a mismatch means this
+	// handle's event is gone and the pooled object now belongs to a later
+	// Schedule, so Cancel must not touch it.
+	gen uint64
 }
 
 // Cancel removes the event from the calendar so it neither fires nor counts
-// toward Pending. Cancelling an already-fired or already-cancelled event is
-// a no-op, and calling Cancel on a nil handle is explicitly allowed —
-// callers that keep an optional timer (e.g. the fabric's completion timer
-// before the first flow starts) may cancel it unconditionally.
+// toward Pending. Cancelling twice, cancelling after the event has fired,
+// and cancelling through a handle whose (pooled, recycled) event now belongs
+// to a later Schedule are all explicit no-ops, and calling Cancel on a nil
+// handle is allowed — callers that keep an optional timer (e.g. the fabric's
+// completion timer before the first flow starts) may cancel unconditionally.
 func (h *EventHandle) Cancel() {
-	if h == nil || h.ev == nil || h.ev.idx < 0 {
+	if h == nil || h.ev == nil || h.ev.gen != h.gen {
 		return
 	}
-	h.env.events.remove(h.ev.idx)
+	h.env.q.cancel(h.ev)
+	h.ev = nil
+}
+
+// timerRef is the allocation-free internal analog of EventHandle, used by
+// kernel re-armed timers (the fabric completion timer re-arms on every
+// solve). The zero value refers to nothing; cancelling it is a no-op.
+type timerRef struct {
+	ev  *timedEvent
+	gen uint64
+}
+
+// scheduleFn files fn like Schedule but returns a by-value ref instead of a
+// heap-allocated handle.
+func (e *Env) scheduleFn(at Time, fn func()) timerRef {
+	ev := e.scheduleEvent(at, evFn, fn, nil)
+	return timerRef{ev: ev, gen: ev.gen}
+}
+
+func (e *Env) cancelTimer(t timerRef) {
+	if t.ev != nil && t.ev.gen == t.gen {
+		e.q.cancel(t.ev)
+	}
 }
 
 // Go starts a new simulated process running fn. The process begins executing
 // at the current virtual time, after the caller parks or (when called from
-// outside the simulation) when Run is invoked.
+// outside the simulation) when Run is invoked. The goroutine that carries it
+// is drawn from the environment's pool of parked workers when one is free;
+// spawning is the exception, not the rule, on churny workloads.
 func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
-	p := &Proc{
-		env:    e,
-		name:   name,
-		resume: make(chan struct{}),
-		Done:   NewEvent(e),
-	}
+	p := &Proc{env: e, name: name, fn: fn, blockedIdx: -1, Done: NewEvent(e)}
 	e.procs++
-	e.Schedule(e.now, func() {
-		go func() {
-			fn(p)
-			p.finished = true
-			e.procs--
-			p.Done.Fire()
-			e.baton <- struct{}{}
-		}()
-		<-e.baton // wait until the new process parks or finishes
-	})
+	e.scheduleEvent(e.now, evStart, nil, p)
 	return p
+}
+
+// dispatch outcomes.
+const (
+	dispHandoff = iota // baton handed to another goroutine; caller must wait
+	dispSelf           // the caller's own process was resumed (or re-assigned)
+	dispDone           // calendar drained (or deadline reached); main only
+)
+
+// dispatch is the scheduler's inner loop. It runs calendar events on the
+// calling goroutine until one transfers control: resuming another process
+// hands the baton directly to its goroutine (one channel send — the classic
+// bounce through a central scheduler goroutine is gone); resuming the
+// calling process returns dispSelf with no channel traffic at all. w is the
+// calling worker, nil when main dispatches.
+//
+// Plain fn events always run on the main goroutine: model callbacks (the
+// fabric solver above all) can be deep, and running them on whichever worker
+// happens to hold the baton would grow every worker's stack to the model's
+// high-water mark — hundreds of stack copies on churny workloads. A worker
+// that pops an fn event instead stashes it and hands the baton home, so the
+// model only ever deepens main's one stack (and panics from model callbacks
+// surface at the Run caller, as they did in the seed).
+func (e *Env) dispatch(w *worker) int {
+	for {
+		ev := e.stashed
+		if ev != nil {
+			e.stashed = nil
+		} else if ev = e.q.pop(e.deadline); ev == nil {
+			if w == nil {
+				return dispDone
+			}
+			e.mainResume <- struct{}{}
+			return dispHandoff
+		}
+		e.now = ev.at
+		switch ev.kind {
+		case evFn:
+			if w != nil {
+				e.stashed = ev
+				e.mainResume <- struct{}{}
+				return dispHandoff
+			}
+			fn := ev.fn
+			e.q.release(ev)
+			fn()
+		case evResume:
+			p := ev.proc
+			e.q.release(ev)
+			if w != nil && p == w.proc {
+				return dispSelf
+			}
+			p.w.resume <- struct{}{}
+			return dispHandoff
+		default: // evStart
+			p := ev.proc
+			e.q.release(ev)
+			nw := e.takeWorker()
+			if nw == nil {
+				nw = &worker{resume: make(chan struct{})}
+				e.spawnedWorkers++
+				bindWorker(nw, p)
+				go e.workerMain(nw)
+				return dispHandoff
+			}
+			bindWorker(nw, p)
+			if nw == w {
+				// The dispatching worker just finished its process and
+				// pooled itself; workerMain picks the new job up in its
+				// loop instead of this goroutine sending to itself.
+				return dispSelf
+			}
+			nw.resume <- struct{}{}
+			return dispHandoff
+		}
+	}
+}
+
+// maxFreeWorkers bounds the idle-goroutine pool. Recycling wins on churny
+// workloads where processes start and finish all run long, but a fan-in —
+// hundreds of processes finishing with no new starts — would otherwise park
+// hundreds of goroutines whose stacks stay live until the run ends, raising
+// GC pressure for no benefit. Beyond the cap a finishing worker hands the
+// baton off and exits immediately, exactly like the seed's one-goroutine-
+// per-process scheduler.
+const maxFreeWorkers = 64
+
+// workerMain is the body of a pooled process goroutine. Entered holding the
+// baton with a job bound; after the process function returns, the worker
+// pools itself and keeps draining the calendar, so a process finish costs no
+// goroutine switch either.
+func (e *Env) workerMain(w *worker) {
+	for {
+		p := w.proc
+		p.fn(p)
+		p.fn = nil
+		p.finished = true
+		e.procs--
+		p.Done.Fire()
+		if len(e.freeWorkers) >= maxFreeWorkers {
+			// Pool full: hand the baton off and retire. dispatch cannot pick
+			// this worker again — its process is finished and it is not in
+			// the free pool — so dispSelf is impossible here.
+			w.proc = nil
+			e.dispatch(w)
+			return
+		}
+		e.freeWorkers = append(e.freeWorkers, w)
+		if e.dispatch(w) != dispSelf {
+			<-w.resume
+			if w.proc == nil {
+				// Dismissed by stopWorkers; ack and unwind.
+				e.mainResume <- struct{}{}
+				return
+			}
+		}
+	}
+}
+
+func (e *Env) takeWorker() *worker {
+	n := len(e.freeWorkers)
+	if n == 0 {
+		return nil
+	}
+	w := e.freeWorkers[n-1]
+	e.freeWorkers = e.freeWorkers[:n-1]
+	return w
+}
+
+// stopWorkers dismisses the idle pooled goroutines and waits for them to
+// unwind. Called when a run returns: recycling pays off within a run (where
+// process churn lives), but an Env that has quiesced would otherwise pin its
+// high-water goroutine count forever — benchmarks and sweeps build thousands
+// of short-lived Envs. The join half matters as much as the dismissal: a
+// merely-runnable zombie still references the Env from its stack, and a
+// sweep that drops the Env and builds the next one would accumulate whole
+// dead simulations in the live heap until the scheduler got around to
+// running the zombies off.
+func (e *Env) stopWorkers() {
+	for _, w := range e.freeWorkers {
+		w.proc = nil
+		w.resume <- struct{}{}
+	}
+	for range e.freeWorkers {
+		<-e.mainResume // ack: the worker is past its last reference to e
+	}
+	e.freeWorkers = e.freeWorkers[:0]
+	runtime.Gosched() // let the acked workers run their final return
+}
+
+// runLoop drains the calendar up to e.deadline, lending the baton out to
+// process goroutines and reclaiming it when they quiesce.
+func (e *Env) runLoop() {
+	e.running = true
+	defer func() { e.running = false }()
+	for {
+		if e.dispatch(nil) == dispDone {
+			return
+		}
+		<-e.mainResume
+	}
 }
 
 // Run executes events until the calendar is empty, then returns the final
 // virtual time. If the calendar drains while processes are still blocked on
 // non-timer waits (a lost signal, a full queue nobody drains, ...) Run
-// panics with a deadlock report naming the stuck processes: in a correct
-// model every blocked process is eventually woken by a scheduled event.
+// panics with a deadlock report naming the stuck processes in name order: in
+// a correct model every blocked process is eventually woken by a scheduled
+// event.
 func (e *Env) Run() Time {
-	e.running = true
-	defer func() { e.running = false }()
-	for e.events.len() > 0 {
-		ev := e.events.pop()
-		e.now = ev.at
-		ev.fn()
-	}
+	e.deadline = Time(math.MaxInt64)
+	e.runLoop()
 	if len(e.blocked) > 0 {
-		names := make([]string, 0, len(e.blocked))
-		for p, why := range e.blocked {
-			names = append(names, fmt.Sprintf("%s (%s)", p.name, why))
-		}
-		sort.Strings(names)
 		panic(fmt.Sprintf("sim: deadlock at %v: %d process(es) blocked with no pending events: %v",
-			e.now, len(names), names))
+			e.now, len(e.blocked), e.blockedReport()))
 	}
+	e.stopWorkers()
 	return e.now
+}
+
+// blockedReport lists the parked processes as "name (reason)", sorted by
+// process name (then reason) — never in map or park order, so two runs of
+// the same deadlocking model print the same report.
+func (e *Env) blockedReport() []string {
+	names := make([]string, 0, len(e.blocked))
+	for _, b := range e.blocked {
+		names = append(names, fmt.Sprintf("%s (%s)", b.p.name, b.why))
+	}
+	sort.Strings(names)
+	return names
 }
 
 // RunUntil executes events with timestamps <= deadline and advances the
 // clock to exactly the deadline. Events beyond the deadline stay queued.
 func (e *Env) RunUntil(deadline Time) Time {
-	e.running = true
-	defer func() { e.running = false }()
-	for e.events.len() > 0 && e.events.peek().at <= deadline {
-		ev := e.events.pop()
-		e.now = ev.at
-		ev.fn()
-	}
+	e.deadline = deadline
+	e.runLoop()
 	if e.now < deadline {
 		e.now = deadline
 	}
+	e.stopWorkers()
 	return e.now
 }
 
-// resumeProc wakes a parked process and waits until it parks again or
-// terminates. This is the scheduler half of the baton protocol; Proc.park is
-// the process half.
-func (e *Env) resumeProc(p *Proc) {
-	p.resume <- struct{}{}
-	<-e.baton
+func (e *Env) pushBlocked(p *Proc, why string) {
+	p.blockedIdx = len(e.blocked)
+	e.blocked = append(e.blocked, blockedProc{p: p, why: why})
+}
+
+func (e *Env) popBlocked(p *Proc) {
+	i := p.blockedIdx
+	last := len(e.blocked) - 1
+	if i != last {
+		e.blocked[i] = e.blocked[last]
+		e.blocked[i].p.blockedIdx = i
+	}
+	e.blocked[last] = blockedProc{}
+	e.blocked = e.blocked[:last]
+	p.blockedIdx = -1
 }

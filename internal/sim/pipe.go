@@ -47,7 +47,13 @@ type Fabric struct {
 
 	lastAdvance  Time
 	solvePending bool
-	timer        *EventHandle
+	timer        timerRef
+
+	// stepFn and solveFn are the fabric's two scheduler callbacks, created
+	// once so that re-arming the completion timer and coalescing a solve —
+	// both per-event operations on busy fabrics — never allocate a closure.
+	stepFn  func()
+	solveFn func()
 
 	// dirtyPipes accumulates pipes whose membership or capacity changed
 	// since the last solve; the next solve re-allocates exactly the
@@ -66,7 +72,13 @@ type Fabric struct {
 
 // NewFabric returns an empty fabric bound to env.
 func NewFabric(env *Env) *Fabric {
-	return &Fabric{env: env, classIndex: map[string]*flowClass{}}
+	f := &Fabric{env: env, classIndex: map[string]*flowClass{}}
+	f.stepFn = f.step
+	f.solveFn = func() {
+		f.solvePending = false
+		f.step()
+	}
+	return f
 }
 
 // Pipe is a shared bandwidth resource inside a Fabric.
@@ -298,10 +310,7 @@ func (f *Fabric) markDirty() {
 		return
 	}
 	f.solvePending = true
-	f.env.Schedule(f.env.now, func() {
-		f.solvePending = false
-		f.step()
-	})
+	f.env.scheduleFn(f.env.now, f.solveFn)
 }
 
 // Settled reports whether the fabric has no same-instant re-solve pending.
@@ -372,12 +381,11 @@ func (f *Fabric) reapFinished() {
 // its earliest-finishing member in a heap, so the cost is O(classes)
 // instead of O(flows).
 func (f *Fabric) scheduleNextCompletion() {
-	// Cancel is documented as a nil-receiver-safe no-op on EventHandle, but
-	// guard explicitly: the very first arm happens before any timer exists.
-	if f.timer != nil {
-		f.timer.Cancel()
-		f.timer = nil
-	}
+	// cancelTimer on the zero ref is a no-op, which covers the very first
+	// arm (before any timer exists) and re-arming from within the timer's
+	// own firing (the fired event's generation has already moved on).
+	f.env.cancelTimer(f.timer)
+	f.timer = timerRef{}
 	if f.liveFlows == 0 {
 		return
 	}
@@ -396,7 +404,7 @@ func (f *Fabric) scheduleNextCompletion() {
 	if ns < 0 {
 		ns = 0
 	}
-	f.timer = f.env.Schedule(f.env.now+ns, f.step)
+	f.timer = f.env.scheduleFn(f.env.now+ns, f.stepFn)
 }
 
 func pipeNames(pipes []*Pipe) []string {

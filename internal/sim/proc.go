@@ -1,18 +1,37 @@
 package sim
 
-// Proc is a simulated process: a goroutine whose execution is interleaved
+// Proc is a simulated process: a logical thread of execution interleaved
 // with all other processes by the Env scheduler so that exactly one runs at
 // a time. All blocking methods (Sleep, Wait, resource acquisition, ...) must
 // be called from the process's own goroutine.
+//
+// The goroutine carrying a Proc is a pooled worker: when the process
+// function returns, the goroutine is recycled for the next Env.Go instead of
+// dying. The Proc itself is never recycled — callers may hold it (and its
+// Done event) indefinitely.
 type Proc struct {
-	env      *Env
-	name     string
-	resume   chan struct{}
-	finished bool
+	env        *Env
+	name       string
+	fn         func(p *Proc)
+	w          *worker
+	blockedIdx int // index in env.blocked, -1 when not parked on a wait
+	finished   bool
 
 	// Done fires when the process function returns. Other processes can
 	// Wait on it to join this process.
 	Done *Event
+}
+
+// worker is a recyclable process goroutine: a resume channel (the baton
+// hand-off point) plus the process currently bound to it.
+type worker struct {
+	resume chan struct{}
+	proc   *Proc
+}
+
+func bindWorker(w *worker, p *Proc) {
+	w.proc = p
+	p.w = w
 }
 
 // Env returns the environment the process runs in.
@@ -24,23 +43,29 @@ func (p *Proc) Name() string { return p.name }
 // Now returns the current virtual time.
 func (p *Proc) Now() Time { return p.env.now }
 
-// park hands control back to the scheduler and blocks until some event
-// resumes this process. why is recorded for deadlock diagnostics; processes
-// parked on timers pass "" and are not tracked (a timer always fires).
+// park hands control to the scheduler and blocks until some event resumes
+// this process. The calling goroutine drains the calendar itself (see
+// Env.dispatch): if the next wake-up belongs to this very process, park
+// returns without a single channel operation; otherwise the baton goes
+// directly to the resumed process's goroutine. why is recorded for deadlock
+// diagnostics; processes parked on timers pass "" and are not tracked (a
+// timer always fires).
 func (p *Proc) park(why string) {
+	e := p.env
 	if why != "" {
-		p.env.blocked[p] = why
+		e.pushBlocked(p, why)
 	}
-	p.env.baton <- struct{}{}
-	<-p.resume
+	if e.dispatch(p.w) != dispSelf {
+		<-p.w.resume
+	}
 	if why != "" {
-		delete(p.env.blocked, p)
+		e.popBlocked(p)
 	}
 }
 
 // wake schedules this process to resume at the current virtual time.
 func (p *Proc) wake() {
-	p.env.Schedule(p.env.now, func() { p.env.resumeProc(p) })
+	p.env.scheduleEvent(p.env.now, evResume, nil, p)
 }
 
 // Sleep suspends the process for duration d of virtual time.
@@ -51,7 +76,7 @@ func (p *Proc) Sleep(d Duration) {
 	if d == 0 {
 		return
 	}
-	p.env.After(d, func() { p.env.resumeProc(p) })
+	p.env.scheduleEvent(p.env.now.Add(d), evResume, nil, p)
 	p.park("")
 }
 
@@ -61,14 +86,14 @@ func (p *Proc) SleepUntil(t Time) {
 	if t <= p.env.now {
 		return
 	}
-	p.env.Schedule(t, func() { p.env.resumeProc(p) })
+	p.env.scheduleEvent(t, evResume, nil, p)
 	p.park("")
 }
 
 // Yield lets every other event already scheduled for the current instant run
 // before this process continues.
 func (p *Proc) Yield() {
-	p.env.Schedule(p.env.now, func() { p.env.resumeProc(p) })
+	p.wake()
 	p.park("")
 }
 

@@ -1,0 +1,7 @@
+//go:build simreference
+
+package sim
+
+// eventQueue under -tags simreference: the reference binary-heap scheduler.
+// See queue_wheel.go for the default.
+type eventQueue = refQueue

@@ -1,0 +1,9 @@
+//go:build !simreference
+
+package sim
+
+// eventQueue selects the scheduler implementation at build time. The
+// default is the calendar-queue hybrid; `go build -tags simreference`
+// substitutes the seed's binary heap (refQueue) so any behavioral
+// divergence shows up as a golden or test failure rather than silent drift.
+type eventQueue = calQueue
