@@ -25,7 +25,8 @@ test:
 
 race:
 	$(GO) test -race ./internal/sim/... ./internal/experiments/... \
-		./internal/faults/... ./internal/vast/... ./internal/repair/...
+		./internal/faults/... ./internal/vast/... ./internal/repair/... \
+		./internal/traffic/...
 	$(GO) test -race -tags simreference ./internal/sim/
 
 # The -tags simreference build swaps the DES kernel's calendar queue for the
@@ -33,19 +34,22 @@ race:
 # pass identically under both.
 reference-smoke:
 	$(GO) test -tags simreference ./internal/sim/
+	$(GO) test -tags simreference ./internal/experiments -run TestGoldenSaturationQuick -count=1
 
 bench-smoke:
 	$(GO) test ./internal/sim/ -run XXX -bench BenchmarkFabricSolver -benchtime=1x
 	$(GO) test . -run XXX -bench 'BenchmarkKernel' -benchtime=1x
+	$(GO) test ./internal/traffic -run XXX -bench BenchmarkTrafficEngine -benchtime=1x
 
 # Each parser gets $(FUZZTIME) of coverage-guided fuzzing, and the calendar
 # queue is fuzzed differentially against the reference heap. Go allows one
-# -fuzz target per invocation, so this is four short runs.
+# -fuzz target per invocation, so this is five short runs.
 fuzz-smoke:
 	$(GO) test ./internal/units -run XXX -fuzz FuzzParseSize -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/units -run XXX -fuzz FuzzParseDuration -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/faults -run XXX -fuzz FuzzSchedule -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/sim -run XXX -fuzz FuzzWheelVsHeap -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/traffic -run XXX -fuzz FuzzTenantSpec -fuzztime $(FUZZTIME)
 
 # Seeded chaos gate: three pinned storms per backend through the repair
 # manager with the invariant suite attached. Reproduce one storm by hand
@@ -63,5 +67,8 @@ bench:
 	  $(GO) test . -run XXX -bench 'BenchmarkConsistency|BenchmarkFig2a|BenchmarkFig3$$' -benchtime=1x -benchmem ) \
 	| $(GO) run ./cmd/benchjson -baseline BENCH_baseline.json -o BENCH_kernel.json \
 	    -note "post-overhaul kernel numbers; baseline is the pre-overhaul binary-heap scheduler"
+	$(GO) test ./internal/traffic -run XXX -bench BenchmarkTrafficEngine -benchtime=2s -benchmem \
+	| $(GO) run ./cmd/benchjson -o BENCH_traffic.json \
+	    -note "open-loop traffic engine: cost per generated request (arrival draw, admission, spawn, transfer, sketch)"
 
 test-all: build test race

@@ -29,7 +29,7 @@ var (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate (table1, 1, 2a, 2b, 3, 4a, 4b, 5, 6, takeaways, ablations, consistency, suitability, failover, degraded, rebuild, all)")
+	fig := flag.String("fig", "all", "figure to regenerate (table1, 1, 2a, 2b, 3, 4a, 4b, 5, 6, takeaways, ablations, consistency, suitability, failover, degraded, rebuild, saturation, all)")
 	reps := flag.Int("reps", 1, "repetitions per data point (paper uses 10)")
 	quick := flag.Bool("quick", false, "smaller sweeps")
 	seed := flag.Uint64("seed", 0x5eed, "random seed for contention and shuffles")
@@ -209,6 +209,10 @@ var figures = []figure{
 	{"rebuild", func(o storagesim.ExperimentOptions) error {
 		p, err := storagesim.RebuildSweep(o)
 		return renderPanels([]storagesim.Panel{p}, err)
+	}},
+	{"saturation", func(o storagesim.ExperimentOptions) error {
+		panels, err := storagesim.SaturationSweep(o)
+		return renderPanels(panels, err)
 	}},
 }
 

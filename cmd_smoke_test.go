@@ -16,7 +16,7 @@ import (
 func buildCmds(t *testing.T) string {
 	t.Helper()
 	dir := t.TempDir()
-	for _, name := range []string{"paperfigs", "iorbench", "dliobench", "tracestat", "mdbench"} {
+	for _, name := range []string{"paperfigs", "iorbench", "dliobench", "tracestat", "mdbench", "trafficbench"} {
 		out := filepath.Join(dir, name)
 		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
 		cmd.Env = os.Environ()
@@ -92,6 +92,12 @@ func TestCommandsSmoke(t *testing.T) {
 		"-machine", "Ruby", "-fs", "lustre", "-nodes", "1", "-ppn", "4", "-files", "32")
 	if !strings.Contains(out, "creates:") || !strings.Contains(out, "removes:") {
 		t.Fatalf("mdbench output:\n%s", out)
+	}
+
+	out = run(t, filepath.Join(dir, "trafficbench"),
+		"-machine", "Wombat", "-fs", "vast", "-nodes", "2", "-duration", "500ms")
+	if !strings.Contains(out, "ckpt") || !strings.Contains(out, "goodput") {
+		t.Fatalf("trafficbench output:\n%s", out)
 	}
 
 	csvDir := filepath.Join(dir, "csv")

@@ -28,6 +28,11 @@ type testbed struct {
 	fab    *sim.Fabric
 	cl     *cluster.Cluster
 	mounts []fsapi.Client
+	// mount mints one more client mount named name on node index i. The
+	// benchmark engines use the prebuilt mounts (one per node); the traffic
+	// engine mints extra per-tenant mounts through this so each tenant gets
+	// its own tagged view of the same node.
+	mount func(name string, i int) fsapi.Client
 	// derate scales the deployment's server side (contention model).
 	derate func(f float64)
 	// shared reports whether the deployment is a production shared system
@@ -56,6 +61,7 @@ func buildTestbed(machine string, fs FS, n int, mutateVAST func(*vast.Config)) (
 	}
 	tb := &testbed{env: env, fab: fab, cl: cl}
 	mountAll := func(mount func(string, int) fsapi.Client) {
+		tb.mount = mount
 		for i := 0; i < n; i++ {
 			tb.mounts = append(tb.mounts, mount(cl.Node(i).Name, i))
 		}

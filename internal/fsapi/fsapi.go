@@ -55,6 +55,17 @@ type Client interface {
 	DropCaches()
 }
 
+// FlowTagger is implemented by mounts that can attribute their fabric
+// traffic to a tenant. A tagged mount stamps the tag onto the calling
+// process at the entry of every data-path operation, so all bytes it moves
+// are accounted under Fabric.TagBytes(tag) and form per-tenant fair-share
+// classes. The multi-tenant traffic engine mints one tagged mount per
+// tenant×node; untagged mounts behave exactly as before.
+type FlowTagger interface {
+	// SetFlowTag sets the mount's attribution tag ("" = untagged).
+	SetFlowTag(tag string)
+}
+
 // File is an open handle.
 type File interface {
 	// Path returns the file's path.

@@ -43,7 +43,21 @@ type ClientCore struct {
 	// WriteThrough skips the page cache on writes (data still lands in the
 	// cache clean, so re-reads hit).
 	WriteThrough bool
+	// FlowTag attributes this mount's fabric traffic to a tenant (see
+	// fsapi.FlowTagger); "" is the untagged default.
+	FlowTag string
 }
+
+// SetFlowTag implements fsapi.FlowTagger.
+func (c *ClientCore) SetFlowTag(tag string) { c.FlowTag = tag }
+
+// Stamp applies the mount's flow tag to the calling process, so every
+// fabric flow the ensuing operation starts is attributed to this mount's
+// tenant. It assigns unconditionally — an untagged mount clears any stale
+// tag a shared process may carry from a previous mount. The op-level core
+// stamps its own entry points; concrete clients must call Stamp at the top
+// of their stream methods.
+func (c *ClientCore) Stamp(p *sim.Proc) { p.SetFlowTag(c.FlowTag) }
 
 // FSName implements fsapi.Client.
 func (c *ClientCore) FSName() string { return c.FS }
@@ -64,6 +78,7 @@ func (c *ClientCore) DropCaches() {
 // Remove implements fsapi.Client: one metadata round trip, then the inode
 // and its cached pages are gone.
 func (c *ClientCore) Remove(p *sim.Proc, path string) {
+	c.Stamp(p)
 	ino := c.NS.Lookup(path)
 	if ino == nil {
 		return
@@ -77,6 +92,7 @@ func (c *ClientCore) Remove(p *sim.Proc, path string) {
 
 // Open implements fsapi.Client.
 func (c *ClientCore) Open(p *sim.Proc, path string, truncate bool) fsapi.File {
+	c.Stamp(p)
 	ino := c.NS.Create(path, truncate)
 	if truncate && c.Cache != nil {
 		c.Cache.InvalidateFile(ino.ID)
@@ -107,6 +123,7 @@ func (f *file) WriteAt(p *sim.Proc, off, n int64) {
 		return
 	}
 	c := f.client
+	c.Stamp(p)
 	c.NS.Extend(f.ino, off, n)
 	if c.Cache == nil || c.WriteThrough {
 		c.Backend.OpWrite(p, f.ino, off, n)
@@ -130,6 +147,7 @@ func (f *file) ReadAt(p *sim.Proc, off, n int64) {
 		return
 	}
 	c := f.client
+	c.Stamp(p)
 	fsapi.ValidateRead(f.ino, off, n)
 	if c.Cache == nil {
 		c.Backend.OpRead(p, f.ino, off, n)
@@ -157,6 +175,7 @@ func (f *file) ReadAt(p *sim.Proc, off, n int64) {
 // the backend.
 func (f *file) Fsync(p *sim.Proc) {
 	c := f.client
+	c.Stamp(p)
 	if c.Cache == nil || c.WriteThrough {
 		return // nothing buffered client-side
 	}

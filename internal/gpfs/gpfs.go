@@ -225,6 +225,9 @@ func (c *client) Remove(p *sim.Proc, path string) { c.core.Remove(p, path) }
 // DropCaches implements fsapi.Client.
 func (c *client) DropCaches() { c.core.DropCaches() }
 
+// SetFlowTag implements fsapi.FlowTagger.
+func (c *client) SetFlowTag(tag string) { c.core.SetFlowTag(tag) }
+
 // writePipes is the network path of a client→NSD write.
 func (c *client) writePipes() []*sim.Pipe { return c.writePath }
 
@@ -233,6 +236,7 @@ func (c *client) readPipes() []*sim.Pipe { return c.readPath }
 
 // StreamWrite implements fsapi.Client: one flow into the RAID pool.
 func (c *client) StreamWrite(p *sim.Proc, path string, a fsapi.Access, ioSize, total int64) {
+	c.core.Stamp(p)
 	ino := c.sys.ns.Create(path, false)
 	c.sys.ns.Extend(ino, 0, total)
 	c.sys.raid.StreamWrite(p, a, ioSize, float64(total), c.writePipes(), 0)
@@ -243,6 +247,7 @@ func (c *client) StreamWrite(p *sim.Proc, path string, a fsapi.Access, ioSize, t
 // client streaming cap; random streams fall through to the spinning media
 // and additionally pay the blocking-request ceiling.
 func (c *client) StreamRead(p *sim.Proc, path string, a fsapi.Access, ioSize, total int64) {
+	c.core.Stamp(p)
 	s := c.sys
 	if a == fsapi.Sequential {
 		s.fab.Transfer(p, c.memReadPath, float64(total), 0)

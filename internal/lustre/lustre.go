@@ -191,6 +191,9 @@ func (c *client) Remove(p *sim.Proc, path string) { c.core.Remove(p, path) }
 // DropCaches implements fsapi.Client.
 func (c *client) DropCaches() { c.core.DropCaches() }
 
+// SetFlowTag implements fsapi.FlowTagger.
+func (c *client) SetFlowTag(tag string) { c.core.SetFlowTag(tag) }
+
 func (c *client) writePipes() []*sim.Pipe { return c.writePath }
 
 func (c *client) readPipes() []*sim.Pipe { return c.readPath }
@@ -198,6 +201,7 @@ func (c *client) readPipes() []*sim.Pipe { return c.readPath }
 // StreamWrite implements fsapi.Client: one stripe-1 flow, capped by its
 // single OST.
 func (c *client) StreamWrite(p *sim.Proc, path string, a fsapi.Access, ioSize, total int64) {
+	c.core.Stamp(p)
 	ino := c.sys.ns.Create(path, false)
 	c.sys.ns.Extend(ino, 0, total)
 	c.sys.pool.StreamWrite(p, a, ioSize, float64(total), c.writePipes(), c.sys.perStreamCapW)
@@ -205,6 +209,7 @@ func (c *client) StreamWrite(p *sim.Proc, path string, a fsapi.Access, ioSize, t
 
 // StreamRead implements fsapi.Client.
 func (c *client) StreamRead(p *sim.Proc, path string, a fsapi.Access, ioSize, total int64) {
+	c.core.Stamp(p)
 	s := c.sys
 	capBps := s.perStreamCapR
 	if a == fsapi.Random {

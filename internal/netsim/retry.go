@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"storagesim/internal/sim"
+	"storagesim/internal/stats"
 )
 
 // RetryPolicy models the NFS client's RPC retransmission behaviour against
@@ -62,19 +63,14 @@ func (rp RetryPolicy) Validate() error {
 }
 
 // retryJitter derives the bounded deterministic jitter for one round of one
-// flow: a SplitMix64 finalizer over (flow, round), reduced to [0, bound).
-// Pure function of its inputs, so a fixed seed reproduces every retry
-// timeline byte-for-byte.
+// flow: the shared SplitMix64 finalizer (stats.Mix64) over (flow, round),
+// reduced to [0, bound). Pure function of its inputs, so a fixed seed
+// reproduces every retry timeline byte-for-byte.
 func retryJitter(flowID uint64, round int, bound sim.Duration) sim.Duration {
 	if bound <= 0 {
 		return 0
 	}
-	z := flowID*0x9e3779b97f4a7c15 + uint64(round)*0xbf58476d1ce4e5b9
-	z ^= z >> 30
-	z *= 0xbf58476d1ce4e5b9
-	z ^= z >> 27
-	z *= 0x94d049bb133111eb
-	z ^= z >> 31
+	z := stats.Mix64(flowID*0x9e3779b97f4a7c15 + uint64(round)*0xbf58476d1ce4e5b9)
 	return sim.Duration(z % uint64(bound))
 }
 

@@ -200,10 +200,14 @@ func (c *client) Remove(p *sim.Proc, path string) { c.core.Remove(p, path) }
 // DropCaches implements fsapi.Client.
 func (c *client) DropCaches() { c.core.DropCaches() }
 
+// SetFlowTag implements fsapi.FlowTagger.
+func (c *client) SetFlowTag(tag string) { c.core.SetFlowTag(tag) }
+
 // StreamWrite implements fsapi.Client: the page cache absorbs up to the
 // remaining dirty budget at memory speed; the rest runs at device speed
 // (write-back throttling).
 func (c *client) StreamWrite(p *sim.Proc, path string, a fsapi.Access, ioSize, total int64) {
+	c.core.Stamp(p)
 	s := c.sys
 	st := c.node
 	ino := st.ns.Create(path, false)
@@ -242,6 +246,7 @@ func (st *nodeState) drainDirty(now sim.Time) {
 // device and crosses the interconnect (local read when this node is its
 // own peer).
 func (c *client) StreamRead(p *sim.Proc, path string, a fsapi.Access, ioSize, total int64) {
+	c.core.Stamp(p)
 	s := c.sys
 	src := s.nodes[s.Peer(c.node.name)]
 	if src == nil {

@@ -60,6 +60,13 @@ type Fabric struct {
 	// connected region reachable from them.
 	dirtyPipes []*Pipe
 
+	// tagBytes integrates delivered bytes per flow tag (multi-tenant
+	// attribution). Tags partition classes — the tag is part of the class
+	// signature — so the per-tag integral is exact under the same work
+	// accounting that serves per-flow completion. Lazily allocated: fabrics
+	// that never see a tagged flow pay nothing.
+	tagBytes map[string]float64
+
 	// solver scratch, reused across solves (see solver.go).
 	regionPipes   []*Pipe
 	regionClasses []*flowClass
@@ -236,25 +243,36 @@ func PathLatency(pipes []*Pipe) Duration {
 // Transfer is the flow-level primitive: it models a sustained stream (an
 // IOR rank writing its whole file, an NFS connection moving a block) rather
 // than individual packets.
+// The flow inherits the calling process's flow tag (see Proc.SetFlowTag),
+// so multi-tenant engines get per-tenant bandwidth attribution for free.
 func (f *Fabric) Transfer(p *Proc, pipes []*Pipe, bytes float64, rateCap float64) {
 	if bytes <= 0 {
 		return
 	}
+	tag := p.flowTag
 	if lat := PathLatency(pipes); lat > 0 {
 		p.Sleep(lat)
 	}
-	fl := f.StartFlow(pipes, bytes, rateCap)
+	fl := f.StartFlowTagged(pipes, bytes, rateCap, tag)
 	fl.done.Wait(p)
 }
 
-// StartFlow registers a flow without blocking; the returned flow's Done
-// event fires on completion. Most callers want Transfer.
+// StartFlow registers an untagged flow without blocking; the returned
+// flow's Done event fires on completion. Most callers want Transfer.
 func (f *Fabric) StartFlow(pipes []*Pipe, bytes float64, rateCap float64) *Flow {
+	return f.StartFlowTagged(pipes, bytes, rateCap, "")
+}
+
+// StartFlowTagged registers a flow carrying an attribution tag: its
+// delivered bytes accumulate under Fabric.TagBytes(tag). Tagged flows form
+// their own fair-share classes per (path, cap, tag) signature; the empty
+// tag is the untagged default.
+func (f *Fabric) StartFlowTagged(pipes []*Pipe, bytes float64, rateCap float64, tag string) *Flow {
 	if len(pipes) == 0 {
 		panic("sim: flow must cross at least one pipe")
 	}
 	f.advance()
-	c := f.classFor(pipes, rateCap)
+	c := f.classFor(pipes, rateCap, tag)
 	fl := &Flow{
 		class:  c,
 		seq:    f.flowSeq,
@@ -291,8 +309,22 @@ func (f *Fabric) advance() {
 	}
 	for _, c := range f.classes {
 		c.work += c.rate * dt
+		if c.tag != "" {
+			// f.classes iterates in deterministic (insertion/swap-remove)
+			// order, so same-tag float accumulation is reproducible.
+			if f.tagBytes == nil {
+				f.tagBytes = map[string]float64{}
+			}
+			f.tagBytes[c.tag] += c.rate * dt * float64(c.count)
+		}
 	}
 }
+
+// TagBytes returns the bytes delivered so far to flows carrying tag,
+// integrated continuously (in-flight progress counts). Unknown tags report
+// zero. Call after the fabric has settled (or accept the value as of the
+// last advance).
+func (f *Fabric) TagBytes(tag string) float64 { return f.tagBytes[tag] }
 
 // touch marks a pipe's allocation as stale, scheduling its connected
 // component for the next solve.

@@ -17,6 +17,12 @@ type Proc struct {
 	blockedIdx int // index in env.blocked, -1 when not parked on a wait
 	finished   bool
 
+	// flowTag labels every fabric flow this process starts (multi-tenant
+	// attribution; see Fabric.TagBytes). Backends stamp it from the mount's
+	// tag at the entry of each data-path operation, so the empty tag means
+	// untagged traffic and costs nothing.
+	flowTag string
+
 	// Done fires when the process function returns. Other processes can
 	// Wait on it to join this process.
 	Done *Event
@@ -42,6 +48,15 @@ func (p *Proc) Name() string { return p.name }
 
 // Now returns the current virtual time.
 func (p *Proc) Now() Time { return p.env.now }
+
+// SetFlowTag labels all fabric flows this process subsequently starts.
+// Flows with distinct tags form distinct fair-share classes and their
+// delivered bytes are attributed per tag (Fabric.TagBytes); the empty tag
+// restores untagged operation.
+func (p *Proc) SetFlowTag(tag string) { p.flowTag = tag }
+
+// FlowTag returns the process's current flow tag ("" when untagged).
+func (p *Proc) FlowTag() string { return p.flowTag }
 
 // park hands control to the scheduler and blocks until some event resumes
 // this process. The calling goroutine drains the calendar itself (see

@@ -23,6 +23,7 @@ type flowClass struct {
 	pipes   []*Pipe
 	slots   []int // index of this class in pipes[i].classes (backrefs)
 	rateCap float64
+	tag     string // attribution tag; part of the signature ("" = untagged)
 	key     string
 	index   int // position in fabric.classes (backref for swap-remove)
 
@@ -44,15 +45,19 @@ func (c *flowClass) describe() string {
 		c.count, c.rateCap, strings.Join(pipeNames(c.pipes), " "))
 }
 
-// classFor returns the live class for (pipes, rateCap), creating and
+// classFor returns the live class for (pipes, rateCap, tag), creating and
 // registering it if none exists. The signature key is the pipe id sequence
-// plus the cap bits; lookup is allocation-free on the hit path.
-func (f *Fabric) classFor(pipes []*Pipe, rateCap float64) *flowClass {
+// plus the cap bits plus the tag bytes and tag length; lookup is
+// allocation-free on the hit path. The trailing fixed-width tag length
+// keeps the variable-length tag from aliasing a longer pipe sequence.
+func (f *Fabric) classFor(pipes []*Pipe, rateCap float64, tag string) *flowClass {
 	buf := f.keyBuf[:0]
 	for _, p := range pipes {
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(p.id))
 	}
 	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(rateCap))
+	buf = append(buf, tag...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(tag)))
 	f.keyBuf = buf
 	if c, ok := f.classIndex[string(buf)]; ok {
 		return c
@@ -61,6 +66,7 @@ func (f *Fabric) classFor(pipes []*Pipe, rateCap float64) *flowClass {
 		pipes:   append([]*Pipe(nil), pipes...),
 		slots:   make([]int, len(pipes)),
 		rateCap: rateCap,
+		tag:     tag,
 		key:     string(buf),
 		index:   len(f.classes),
 	}

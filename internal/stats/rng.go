@@ -1,5 +1,7 @@
 package stats
 
+import "math"
+
 // RNG is a small, fast, deterministic pseudo-random generator (SplitMix64).
 // The simulator never uses math/rand's global state: every source of
 // variation (background noise, file placement, shuffled sample order) draws
@@ -12,13 +14,34 @@ type RNG struct {
 // NewRNG returns a generator seeded with seed.
 func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
 
-// Uint64 returns the next 64 random bits.
-func (r *RNG) Uint64() uint64 {
-	r.state += 0x9e3779b97f4a7c15
-	z := r.state
+// Mix64 is the SplitMix64 finalizer: a bijective avalanche over 64 bits.
+// It is the one audited mixing primitive every deterministic subsystem
+// (this RNG's stream, netsim's retry jitter, the traffic engine's shard
+// seeds) shares, so a pinned sequence in one place covers them all. As a
+// pure function of its input it is safe to use both as a stream generator
+// (feed it a Weyl sequence, as Uint64 does) and as a stateless hash of
+// structured coordinates like (flow, round) or (tenant, shard).
+func Mix64(z uint64) uint64 {
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	return z ^ (z >> 31)
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	return Mix64(r.state)
+}
+
+// Exp returns an exponentially distributed float64 with the given rate
+// (mean 1/rate) — the inter-arrival draw of a Poisson process. Panics if
+// rate is not positive.
+func (r *RNG) Exp(rate float64) float64 {
+	if rate <= 0 {
+		panic("stats: Exp with non-positive rate")
+	}
+	// Float64 is in [0,1); 1-u is in (0,1], so the log is finite.
+	return -math.Log(1-r.Float64()) / rate
 }
 
 // Float64 returns a uniform float64 in [0, 1).

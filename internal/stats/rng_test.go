@@ -1,0 +1,66 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSplitMixPinnedSequence pins the SplitMix64 stream byte-for-byte.
+// Every deterministic subsystem — this RNG, netsim's retry jitter, the
+// traffic engine's shard seeds — shares Mix64, so this one table guards
+// them all: any change to the mixing constants or the Weyl increment
+// invalidates every golden file in the repository, and this test names the
+// culprit directly. The expected values match the reference SplitMix64
+// (seed 0 famously opens with 0xE220A8397B1DCDAF).
+func TestSplitMixPinnedSequence(t *testing.T) {
+	want0 := []uint64{0xe220a8397b1dcdaf, 0x6e789e6aa1b965f4, 0x06c45d188009454f}
+	r := NewRNG(0)
+	for i, w := range want0 {
+		if got := r.Uint64(); got != w {
+			t.Fatalf("seed 0 output %d = %#x, want %#x", i, got, w)
+		}
+	}
+	want42 := []uint64{0xbdd732262feb6e95, 0x28efe333b266f103, 0x47526757130f9f52}
+	r = NewRNG(42)
+	for i, w := range want42 {
+		if got := r.Uint64(); got != w {
+			t.Fatalf("seed 42 output %d = %#x, want %#x", i, got, w)
+		}
+	}
+	if got := Mix64(1); got != 0x5692161d100b05e5 {
+		t.Fatalf("Mix64(1) = %#x", got)
+	}
+	if got := Mix64(0xdeadbeef); got != 0x4e062702ec929eea {
+		t.Fatalf("Mix64(0xdeadbeef) = %#x", got)
+	}
+	// Mix64 is the finalizer Uint64 applies to its Weyl state: the stream
+	// and the stateless hash must remain the same primitive.
+	r = NewRNG(7)
+	if got, want := r.Uint64(), Mix64(7+0x9e3779b97f4a7c15); got != want {
+		t.Fatalf("Uint64 diverged from Mix64 over the Weyl state: %#x != %#x", got, want)
+	}
+}
+
+// TestExp checks the exponential draw's range and mean.
+func TestExp(t *testing.T) {
+	r := NewRNG(1)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := r.Exp(4)
+		if v < 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+			t.Fatalf("Exp out of range: %v", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-0.25) > 0.005 {
+		t.Fatalf("Exp(4) mean = %v, want ~0.25", mean)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Exp(0) should panic")
+		}
+	}()
+	r.Exp(0)
+}

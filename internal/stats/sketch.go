@@ -1,0 +1,195 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Sketch is a streaming quantile estimator over positive observations: a
+// log-bucketed histogram in the DDSketch style. A value v lands in bucket
+// ceil(log_gamma(v)); reporting the geometric midpoint of a bucket bounds
+// the relative error of every quantile by alpha, where gamma =
+// (1+alpha)/(1-alpha). Memory is O(buckets actually hit) — for latencies
+// spanning 1µs..100s at alpha=1% that is a few thousand counters at most,
+// independent of the observation count, which is what lets a traffic
+// engine track the latency distribution of millions of requests per tenant
+// without keeping them.
+//
+// The sketch is deterministic: Add is pure bucket arithmetic and Quantile
+// iterates buckets in sorted index order, so identical observation
+// sequences produce identical reports. stats.Percentile over the raw
+// values is the exact reference oracle (see the differential tests).
+type Sketch struct {
+	gamma    float64
+	invLogG  float64 // 1 / ln(gamma)
+	counts   map[int]uint64
+	zero     uint64 // observations <= 0 (clamped; latencies should be > 0)
+	n        uint64
+	min, max float64
+}
+
+// DefaultSketchAlpha is the relative-error bound used by the traffic
+// engine's SLO accounting: 1%, comfortably inside the 2% the differential
+// acceptance test demands.
+const DefaultSketchAlpha = 0.01
+
+// NewSketch returns an empty sketch with the given relative-error bound
+// alpha in (0, 1). Zero (or out-of-range) alpha falls back to
+// DefaultSketchAlpha.
+func NewSketch(alpha float64) *Sketch {
+	if alpha <= 0 || alpha >= 1 {
+		alpha = DefaultSketchAlpha
+	}
+	gamma := (1 + alpha) / (1 - alpha)
+	return &Sketch{
+		gamma:   gamma,
+		invLogG: 1 / math.Log(gamma),
+		counts:  map[int]uint64{},
+		min:     math.Inf(1),
+		max:     math.Inf(-1),
+	}
+}
+
+// Add records one observation. Non-positive values count toward the zero
+// bucket (reported as 0 by quantiles below their mass).
+func (s *Sketch) Add(v float64) {
+	s.n++
+	if v < s.min {
+		s.min = v
+	}
+	if v > s.max {
+		s.max = v
+	}
+	if v <= 0 {
+		s.zero++
+		return
+	}
+	s.counts[s.bucket(v)]++
+}
+
+// bucket maps a positive value to its log-bucket index.
+func (s *Sketch) bucket(v float64) int {
+	return int(math.Ceil(math.Log(v) * s.invLogG))
+}
+
+// Count returns the number of observations recorded.
+func (s *Sketch) Count() uint64 { return s.n }
+
+// Min and Max return the exact extremes seen (NaN when empty).
+func (s *Sketch) Min() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.min
+}
+
+// Max returns the largest observation (NaN when empty).
+func (s *Sketch) Max() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.max
+}
+
+// Quantile returns the estimated p-th percentile (p in 0..100, matching
+// Percentile). Empty sketches return NaN. The estimate for a bucket is its
+// geometric midpoint 2·gamma^i/(gamma+1), clamped to the exact observed
+// [min, max] so extreme quantiles never overshoot the data.
+func (s *Sketch) Quantile(p float64) float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	// The endpoint quantiles are the exact extremes — they are tracked
+	// precisely, and this also keeps p=0 correct when the zero bucket holds
+	// negative observations.
+	if p <= 0 {
+		return s.min
+	}
+	if p >= 100 {
+		return s.max
+	}
+	// Rank of the order statistic we report: 1-based, nearest-rank with the
+	// same endpoints as the exact oracle (p=0 -> first, p=100 -> last).
+	rank := uint64(math.Ceil(p/100*float64(s.n-1))) + 1
+	if rank > s.n {
+		rank = s.n
+	}
+	if rank <= s.zero {
+		return 0
+	}
+	rem := rank - s.zero
+	for _, idx := range s.sortedBuckets() {
+		cnt := s.counts[idx]
+		if rem <= cnt {
+			return s.clamp(2 * math.Pow(s.gamma, float64(idx)) / (s.gamma + 1))
+		}
+		rem -= cnt
+	}
+	return s.clamp(s.max)
+}
+
+// FractionBelow returns the fraction of observations <= v — the SLO
+// attainment measure (v being the latency target). The boundary bucket
+// containing v is counted entirely, so the answer inherits the sketch's
+// relative-error bound around v. Empty sketches return NaN.
+func (s *Sketch) FractionBelow(v float64) float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	if v < 0 {
+		return 0
+	}
+	below := s.zero
+	if v > 0 {
+		limit := s.bucket(v)
+		for idx, cnt := range s.counts {
+			if idx <= limit {
+				below += cnt
+			}
+		}
+	}
+	return float64(below) / float64(s.n)
+}
+
+// Merge folds other into s (same-alpha sketches only; mismatched bucket
+// bases would silently corrupt the histogram, so that panics).
+func (s *Sketch) Merge(other *Sketch) {
+	if other == nil || other.n == 0 {
+		return
+	}
+	if other.gamma != s.gamma {
+		panic("stats: merging sketches with different error bounds")
+	}
+	for idx, cnt := range other.counts {
+		s.counts[idx] += cnt
+	}
+	s.zero += other.zero
+	s.n += other.n
+	if other.min < s.min {
+		s.min = other.min
+	}
+	if other.max > s.max {
+		s.max = other.max
+	}
+}
+
+// sortedBuckets returns the hit bucket indices in ascending order. Sorting
+// at query time keeps Add allocation-free; reports happen once per run.
+func (s *Sketch) sortedBuckets() []int {
+	idxs := make([]int, 0, len(s.counts))
+	for idx := range s.counts {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	return idxs
+}
+
+func (s *Sketch) clamp(v float64) float64 {
+	if v < s.min {
+		return s.min
+	}
+	if v > s.max {
+		return s.max
+	}
+	return v
+}

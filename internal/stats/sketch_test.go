@@ -1,0 +1,180 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// relErr returns |got-want|/want.
+func relErr(got, want float64) float64 {
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+// TestSketchDifferential is the sketch's acceptance test: against the
+// exact sort-based Percentile oracle, p50/p95/p99 must agree within 2%
+// relative error on distributions spanning the shapes the traffic engine
+// sees — uniform (flat), exponential (memoryless service) and lognormal
+// (multiplicative tail, the classic latency shape).
+func TestSketchDifferential(t *testing.T) {
+	const n = 50000
+	rng := NewRNG(0xd1ff)
+	dists := []struct {
+		name string
+		draw func() float64
+	}{
+		{"uniform", func() float64 { return rng.Range(1e-3, 1.0) }},
+		{"exponential", func() float64 { return rng.Exp(100) }}, // mean 10ms
+		{"lognormal", func() float64 {
+			// Box-Muller from two uniforms; sigma=1 gives a heavy tail.
+			u1, u2 := 1-rng.Float64(), rng.Float64()
+			z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+			return 5e-3 * math.Exp(z)
+		}},
+	}
+	for _, d := range dists {
+		s := NewSketch(0)
+		xs := make([]float64, 0, n)
+		for i := 0; i < n; i++ {
+			v := d.draw()
+			s.Add(v)
+			xs = append(xs, v)
+		}
+		for _, p := range []float64{50, 95, 99} {
+			exact := Percentile(xs, p)
+			est := s.Quantile(p)
+			if e := relErr(est, exact); e > 0.02 {
+				t.Errorf("%s p%g: sketch %v vs exact %v (rel err %.4f > 2%%)",
+					d.name, p, est, exact, e)
+			}
+		}
+		if s.Count() != n {
+			t.Errorf("%s: count %d, want %d", d.name, s.Count(), n)
+		}
+	}
+}
+
+// TestSketchExtremes pins the exact parts: min, max and the endpoint
+// quantiles are not estimates.
+func TestSketchExtremes(t *testing.T) {
+	s := NewSketch(0)
+	vals := []float64{0.5, 0.001, 3.2, 0.04, 7.9}
+	for _, v := range vals {
+		s.Add(v)
+	}
+	if s.Min() != 0.001 || s.Max() != 7.9 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	if got := s.Quantile(0); got != 0.001 {
+		t.Fatalf("p0 = %v, want exact min", got)
+	}
+	if got := s.Quantile(100); got != 7.9 {
+		t.Fatalf("p100 = %v, want exact max", got)
+	}
+}
+
+// TestSketchEmptyAndZero covers the degenerate inputs.
+func TestSketchEmptyAndZero(t *testing.T) {
+	s := NewSketch(0)
+	if !math.IsNaN(s.Quantile(50)) || !math.IsNaN(s.Min()) || !math.IsNaN(s.FractionBelow(1)) {
+		t.Fatal("empty sketch should report NaN")
+	}
+	s.Add(0)
+	s.Add(-1)
+	s.Add(2)
+	if got := s.Quantile(0); got != -1 {
+		t.Fatalf("p0 with zero bucket = %v (min is exact)", got)
+	}
+	if got := s.Quantile(50); got != 0 {
+		t.Fatalf("median of {-1,0,2} = %v, want 0 (zero bucket)", got)
+	}
+	if got := s.FractionBelow(0); got != 2.0/3 {
+		t.Fatalf("FractionBelow(0) = %v", got)
+	}
+}
+
+// TestSketchMerge checks that a merged sketch equals the sketch of the
+// concatenated stream, bucket for bucket.
+func TestSketchMerge(t *testing.T) {
+	rng := NewRNG(9)
+	a, b, all := NewSketch(0), NewSketch(0), NewSketch(0)
+	for i := 0; i < 4000; i++ {
+		v := rng.Exp(10)
+		if i%2 == 0 {
+			a.Add(v)
+		} else {
+			b.Add(v)
+		}
+		all.Add(v)
+	}
+	a.Merge(b)
+	for _, p := range []float64{1, 25, 50, 90, 99, 99.9} {
+		if got, want := a.Quantile(p), all.Quantile(p); got != want {
+			t.Fatalf("p%g: merged %v != combined %v", p, got, want)
+		}
+	}
+	if a.Count() != all.Count() || a.Min() != all.Min() || a.Max() != all.Max() {
+		t.Fatal("merged bookkeeping diverged")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merging mismatched alphas should panic")
+		}
+	}()
+	coarse := NewSketch(0.1)
+	coarse.Add(1)
+	a.Merge(coarse)
+}
+
+// TestSketchFractionBelow checks SLO attainment against exact counting.
+func TestSketchFractionBelow(t *testing.T) {
+	s := NewSketch(0)
+	xs := make([]float64, 0, 10000)
+	rng := NewRNG(77)
+	for i := 0; i < 10000; i++ {
+		v := rng.Exp(50)
+		s.Add(v)
+		xs = append(xs, v)
+	}
+	for _, target := range []float64{0.005, 0.02, 0.1} {
+		exact := 0
+		for _, v := range xs {
+			// Count what the sketch counts: everything whose bucket is at or
+			// below the target's bucket, i.e. within alpha of the target.
+			if v <= target*(1+2*DefaultSketchAlpha) {
+				exact++
+			}
+		}
+		got := s.FractionBelow(target)
+		if math.Abs(got-float64(exact)/10000) > 0.01 {
+			t.Errorf("FractionBelow(%v) = %v, exact-within-alpha %v", target, got, float64(exact)/10000)
+		}
+	}
+}
+
+// TestPercentileMore extends the oracle's table tests: single samples,
+// duplicated values, unsorted input (Percentile must not mutate its
+// argument), and out-of-range p clamping.
+func TestPercentileMore(t *testing.T) {
+	if got := Percentile([]float64{7}, 50); got != 7 {
+		t.Fatalf("P50 of single = %v", got)
+	}
+	xs := []float64{5, 1, 3, 2, 4}
+	if got := Percentile(xs, 50); got != 3 {
+		t.Fatalf("median of shuffled 1..5 = %v", got)
+	}
+	if xs[0] != 5 || xs[4] != 4 {
+		t.Fatal("Percentile mutated its input")
+	}
+	dup := []float64{2, 2, 2, 2}
+	for _, p := range []float64{0, 33, 66, 100} {
+		if got := Percentile(dup, p); got != 2 {
+			t.Fatalf("P%g of constant = %v", p, got)
+		}
+	}
+	if got := Percentile([]float64{1, 2}, -5); got != 1 {
+		t.Fatalf("p<0 should clamp to min, got %v", got)
+	}
+	if got := Percentile([]float64{1, 2}, 150); got != 2 {
+		t.Fatalf("p>100 should clamp to max, got %v", got)
+	}
+}

@@ -1,0 +1,134 @@
+package traffic
+
+import (
+	"math"
+
+	"storagesim/internal/sim"
+	"storagesim/internal/stats"
+)
+
+// arrivalGen produces the merged arrival stream of one tenant×node shard:
+// the superposition of that shard's slice of the tenant's client
+// population, generated analytically instead of per client.
+//
+// The aggregation argument, per kind:
+//
+//   - Poisson: the superposition of n independent Poisson processes of
+//     rate λ is exactly a Poisson process of rate n·λ, so one exponential
+//     stream at the aggregate rate is not an approximation at all.
+//   - Diurnal: the same superposition theorem holds for nonhomogeneous
+//     Poisson processes; the shard draws from rate Λ(t) =
+//     n·λ·(1+A·sin(2πt/P)) by Lewis–Shedler thinning against the
+//     envelope Λmax = n·λ·(1+A).
+//   - DeterministicRate: n clients each ticking at λ with arbitrary
+//     phases merge into an aggregate stream of rate n·λ; the shard emits
+//     it as an evenly spaced stream (the phase structure is not
+//     observable through a fair-shared fabric, and even spacing is the
+//     deterministic canonical choice).
+//   - OnOff: burst/idle phases are modeled at shard granularity — the
+//     shard's population moves ON and OFF together, emitting Poisson
+//     arrivals at Burst·n·λ during ON phases and nothing during OFF.
+//     This is the heavy-tailed extreme (perfectly correlated clients);
+//     uncorrelated ON/OFF clients would just be Poisson again by
+//     superposition, which the poisson kind already covers.
+//
+// Each shard owns a private RNG seeded by Mix64 over (engine seed, tenant
+// index, shard index), so streams are independent, stable under adding
+// tenants, and byte-reproducible.
+type arrivalGen struct {
+	arr  Arrival
+	rate float64 // aggregate request rate of this shard, req/s
+	rng  *stats.RNG
+
+	// onoff state: current phase and its end time.
+	on    bool
+	phase sim.Time
+}
+
+// shardSeed derives the RNG seed of one tenant×shard stream.
+func shardSeed(seed uint64, tenant, shard int) uint64 {
+	z := stats.Mix64(seed ^ 0x7261666669637467) // "raffictg"
+	z = stats.Mix64(z + uint64(tenant)*0x9e3779b97f4a7c15)
+	return stats.Mix64(z + uint64(shard)*0xbf58476d1ce4e5b9)
+}
+
+// newArrivalGen builds the generator for one shard carrying rate req/s of
+// the tenant's aggregate load.
+func newArrivalGen(a Arrival, rate float64, seed uint64) *arrivalGen {
+	return &arrivalGen{arr: a, rate: rate, rng: stats.NewRNG(seed)}
+}
+
+// next returns the virtual time of the next arrival strictly after now.
+// The returned time only depends on the generator's own state, never on
+// service progress: the engine is open-loop.
+func (g *arrivalGen) next(now sim.Time) sim.Time {
+	switch g.arr.Kind {
+	case DeterministicRate:
+		return now.Add(sim.Duration(1e9 / g.rate))
+	case Poisson:
+		return now.Add(expDur(g.rng, g.rate))
+	case Diurnal:
+		return g.nextDiurnal(now)
+	case OnOff:
+		return g.nextOnOff(now)
+	}
+	panic("traffic: unvalidated arrival kind " + string(g.arr.Kind))
+}
+
+// expDur draws an exponential inter-arrival at the given rate (req/s) as a
+// simulator duration, floored at 1ns so time always advances.
+func expDur(rng *stats.RNG, rate float64) sim.Duration {
+	d := sim.Duration(rng.Exp(rate) * 1e9)
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// nextDiurnal thins a homogeneous Poisson stream at the peak rate down to
+// the sinusoidal instantaneous rate (Lewis–Shedler).
+func (g *arrivalGen) nextDiurnal(now sim.Time) sim.Time {
+	peak := g.rate * (1 + g.arr.Amplitude)
+	t := now
+	for {
+		t = t.Add(expDur(g.rng, peak))
+		// Instantaneous rate at the candidate time.
+		frac := math.Sin(2 * math.Pi * float64(t) / float64(g.arr.Period))
+		lambda := g.rate * (1 + g.arr.Amplitude*frac)
+		if g.rng.Float64()*peak <= lambda {
+			return t
+		}
+	}
+}
+
+// nextOnOff advances through exponentially distributed ON/OFF phases,
+// emitting Poisson arrivals at the burst rate only inside ON phases.
+func (g *arrivalGen) nextOnOff(now sim.Time) sim.Time {
+	t := now
+	for {
+		if t >= g.phase {
+			// Enter the next phase. Starting state is OFF so the first ON
+			// burst's position is randomized too.
+			if g.on {
+				g.on = false
+				g.phase = t.Add(expDur(g.rng, 1e9/float64(g.arr.OffMean)))
+			} else {
+				g.on = true
+				g.phase = t.Add(expDur(g.rng, 1e9/float64(g.arr.OnMean)))
+			}
+			continue
+		}
+		if !g.on {
+			t = g.phase
+			continue
+		}
+		next := t.Add(expDur(g.rng, g.rate*g.arr.Burst))
+		if next > g.phase {
+			// Burst ended before the draw landed; move to the phase edge and
+			// redraw in the following phase.
+			t = g.phase
+			continue
+		}
+		return next
+	}
+}

@@ -1,0 +1,38 @@
+package traffic
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkTrafficEngine measures the end-to-end cost of one generated
+// request through the open-loop engine: arrival draw, admission check,
+// request process spawn, one fabric transfer, sketch update. The loop runs
+// whole traffic windows (~4096 requests each) until b.N requests have been
+// generated, so ns/op and allocs/op read as per generated request — the
+// number that bounds how many logical clients a saturation sweep can
+// afford to aggregate.
+func BenchmarkTrafficEngine(b *testing.B) {
+	b.ReportAllocs()
+	spec := Spec{Tenants: []Tenant{{
+		Name: "bench", Clients: 1_000_000, Workload: SeqWrite,
+		Arrival:      Arrival{Kind: Poisson, Rate: 1e-3}, // 1000 req/s aggregate
+		RequestBytes: 1 << 20, IOBytes: 1 << 20,
+		MaxInflight: 256,
+	}}}
+	const requestsPerRun = 4096
+	window := time.Duration(requestsPerRun) * time.Millisecond
+	runs := 0
+	var generated uint64
+	b.ResetTimer()
+	for generated < uint64(b.N) {
+		env, fab, mount := fakeRig(1e12)
+		rep := Run(env, fab, 4, mount, Config{
+			Spec: spec, Duration: window, Seed: uint64(runs + 1),
+		})
+		generated += rep.Tenants[0].Offered
+		runs++
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(generated)/float64(runs), "req/run")
+}

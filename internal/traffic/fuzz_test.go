@@ -1,0 +1,55 @@
+package traffic
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzTenantSpec asserts the tenant-spec parser never panics, that every
+// accepted spec passes Validate (the parser may not be laxer than the
+// validator), and that accepted specs survive a marshal/re-parse round
+// trip tenant for tenant — the same contract FuzzSchedule pins for fault
+// schedules.
+func FuzzTenantSpec(f *testing.F) {
+	for _, seed := range []string{
+		sampleSpec,
+		`{"tenants":[{"name":"a","clients":1,"workload":"metadata","arrival":{"kind":"poisson","rate":1}}]}`,
+		`{"tenants":[{"name":"a","clients":1000000,"workload":"seq-write","arrival":{"kind":"rate","rate":1e-6},"request":"1g","io":"16m","max_inflight":1,"slo_p99":"1h"}]}`,
+		`{"tenants":[{"name":"a","clients":1,"workload":"rand-read","arrival":{"kind":"onoff","rate":1,"on":"1","off":"2","burst":1},"request":"4k","io":"4k"}]}`,
+		`{"tenants":[{"name":"a","clients":1,"workload":"metadata","arrival":{"kind":"diurnal","rate":1,"period":"24h","amplitude":0.999}}]}`,
+		`{"tenants":[{"name":"a","clients":-1,"workload":"metadata","arrival":{"kind":"poisson","rate":1}}]}`,
+		`{"tenants":[{"name":"a","clients":1,"workload":"metadata","arrival":{"kind":"poisson","rate":1e309}}]}`,
+		`{"tenants":[]}`,
+		`{"tenants":[{}]}`,
+		`{}`,
+		`[]`,
+		``,
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ParseSpec(data)
+		if err != nil {
+			return
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("parser accepted %q but Validate rejects it: %v", data, err)
+		}
+		out, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("accepted spec %q does not marshal: %v", data, err)
+		}
+		back, err := ParseSpec(out)
+		if err != nil {
+			t.Fatalf("marshalled spec %q does not re-parse: %v", out, err)
+		}
+		if len(back.Tenants) != len(s.Tenants) {
+			t.Fatalf("round trip changed tenant count: %d -> %d", len(s.Tenants), len(back.Tenants))
+		}
+		for i := range s.Tenants {
+			if s.Tenants[i] != back.Tenants[i] {
+				t.Fatalf("tenant %d changed in round trip:\n  %+v\n  %+v", i, s.Tenants[i], back.Tenants[i])
+			}
+		}
+	})
+}

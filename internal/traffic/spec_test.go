@@ -1,0 +1,109 @@
+package traffic
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+const sampleSpec = `{
+  "tenants": [
+    {"name": "ckpt", "clients": 400000, "workload": "seq-write",
+     "arrival": {"kind": "poisson", "rate": 1e-3},
+     "request": "4m", "io": "1m", "max_inflight": 256, "slo_p99": "250ms"},
+    {"name": "dash", "clients": 50000, "workload": "metadata",
+     "arrival": {"kind": "diurnal", "rate": 2e-3, "period": "2s", "amplitude": 0.8}},
+    {"name": "ml", "clients": 100000, "workload": "rand-read",
+     "arrival": {"kind": "onoff", "rate": 1e-3, "on": "100ms", "off": "1s", "burst": 8},
+     "request": "1m", "io": "128k"},
+    {"name": "scan", "clients": 1000, "workload": "seq-read",
+     "arrival": {"kind": "rate", "rate": 0.05},
+     "request": "64m", "io": "1m", "slo_p99": "10"}
+  ]
+}`
+
+func TestParseSpec(t *testing.T) {
+	s, err := ParseSpec([]byte(sampleSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Tenants) != 4 {
+		t.Fatalf("parsed %d tenants", len(s.Tenants))
+	}
+	ckpt := s.Tenants[0]
+	if ckpt.RequestBytes != 4<<20 || ckpt.IOBytes != 1<<20 {
+		t.Fatalf("size suffixes: %+v", ckpt)
+	}
+	if ckpt.SLOP99 != 250*time.Millisecond {
+		t.Fatalf("slo = %v", ckpt.SLOP99)
+	}
+	if got := ckpt.AggregateRate(); got != 400 {
+		t.Fatalf("aggregate rate = %v, want 400 req/s", got)
+	}
+	dash := s.Tenants[1]
+	if dash.Arrival.Period != 2*time.Second || dash.Arrival.Amplitude != 0.8 {
+		t.Fatalf("diurnal params: %+v", dash.Arrival)
+	}
+	// Bare numbers are seconds, like fault schedules.
+	if s.Tenants[3].SLOP99 != 10*time.Second {
+		t.Fatalf("bare-seconds slo = %v", s.Tenants[3].SLOP99)
+	}
+}
+
+func TestParseSpecRejects(t *testing.T) {
+	cases := []struct {
+		name, in, wantErr string
+	}{
+		{"empty tenants", `{"tenants":[]}`, "at least one tenant"},
+		{"unknown field", `{"tenants":[{"name":"a","clients":1,"workload":"metadata","arrival":{"kind":"poisson","rate":1},"max_inflght":9}]}`, "unknown field"},
+		{"trailing data", `{"tenants":[{"name":"a","clients":1,"workload":"metadata","arrival":{"kind":"poisson","rate":1}}]} {}`, "trailing data"},
+		{"bad workload", `{"tenants":[{"name":"a","clients":1,"workload":"scribble","arrival":{"kind":"poisson","rate":1}}]}`, "unknown workload"},
+		{"no clients", `{"tenants":[{"name":"a","clients":0,"workload":"metadata","arrival":{"kind":"poisson","rate":1}}]}`, "clients must be positive"},
+		{"data kind without bytes", `{"tenants":[{"name":"a","clients":1,"workload":"seq-write","arrival":{"kind":"poisson","rate":1}}]}`, "positive request bytes"},
+		{"metadata with bytes", `{"tenants":[{"name":"a","clients":1,"workload":"metadata","arrival":{"kind":"poisson","rate":1},"request":"1m"}]}`, "take no bytes"},
+		{"bad arrival kind", `{"tenants":[{"name":"a","clients":1,"workload":"metadata","arrival":{"kind":"weibull","rate":1}}]}`, "unknown arrival kind"},
+		{"zero rate", `{"tenants":[{"name":"a","clients":1,"workload":"metadata","arrival":{"kind":"poisson","rate":0}}]}`, "rate must be positive"},
+		{"diurnal without period", `{"tenants":[{"name":"a","clients":1,"workload":"metadata","arrival":{"kind":"diurnal","rate":1,"amplitude":0.5}}]}`, "positive period"},
+		{"amplitude out of range", `{"tenants":[{"name":"a","clients":1,"workload":"metadata","arrival":{"kind":"diurnal","rate":1,"period":"1s","amplitude":1.5}}]}`, "out of [0,1)"},
+		{"onoff without means", `{"tenants":[{"name":"a","clients":1,"workload":"metadata","arrival":{"kind":"onoff","rate":1,"burst":2}}]}`, "positive on and off"},
+		{"burst below one", `{"tenants":[{"name":"a","clients":1,"workload":"metadata","arrival":{"kind":"onoff","rate":1,"on":"1s","off":"1s","burst":0.5}}]}`, "below 1"},
+		{"poisson with burst params", `{"tenants":[{"name":"a","clients":1,"workload":"metadata","arrival":{"kind":"poisson","rate":1,"burst":2}}]}`, "take no diurnal/burst"},
+		{"negative inflight", `{"tenants":[{"name":"a","clients":1,"workload":"metadata","arrival":{"kind":"poisson","rate":1},"max_inflight":-1}]}`, "negative inflight"},
+		{"negative slo", `{"tenants":[{"name":"a","clients":1,"workload":"metadata","arrival":{"kind":"poisson","rate":1},"slo_p99":"-1s"}]}`, ""},
+		{"duplicate tenant", `{"tenants":[{"name":"a","clients":1,"workload":"metadata","arrival":{"kind":"poisson","rate":1}},{"name":"a","clients":1,"workload":"metadata","arrival":{"kind":"poisson","rate":1}}]}`, "duplicate"},
+		{"bad size", `{"tenants":[{"name":"a","clients":1,"workload":"seq-read","arrival":{"kind":"poisson","rate":1},"request":"4q","io":"1m"}]}`, ""},
+	}
+	for _, c := range cases {
+		_, err := ParseSpec([]byte(c.in))
+		if err == nil {
+			t.Errorf("%s: accepted %s", c.name, c.in)
+			continue
+		}
+		if c.wantErr != "" && !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.wantErr)
+		}
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	s, err := ParseSpec([]byte(sampleSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseSpec(out)
+	if err != nil {
+		t.Fatalf("marshalled spec does not re-parse: %v\n%s", err, out)
+	}
+	if len(back.Tenants) != len(s.Tenants) {
+		t.Fatalf("tenant count changed: %d -> %d", len(s.Tenants), len(back.Tenants))
+	}
+	for i := range s.Tenants {
+		if s.Tenants[i] != back.Tenants[i] {
+			t.Errorf("tenant %d changed in round trip:\n  %+v\n  %+v", i, s.Tenants[i], back.Tenants[i])
+		}
+	}
+}

@@ -1,0 +1,245 @@
+package traffic
+
+import (
+	"fmt"
+	"math"
+
+	"storagesim/internal/fsapi"
+	"storagesim/internal/sim"
+	"storagesim/internal/stats"
+)
+
+// Config parameterizes one traffic run.
+type Config struct {
+	// Spec is the validated multi-tenant description.
+	Spec Spec
+	// Duration is the open-loop generation window; requests in flight when
+	// it closes are counted but not waited for.
+	Duration sim.Duration
+	// Seed drives every arrival stream (per-shard substreams are derived
+	// with Mix64, so tenants and shards are independent).
+	Seed uint64
+	// LoadScale multiplies every tenant's offered rate — the x axis of a
+	// saturation sweep. 0 means 1.
+	LoadScale float64
+	// SketchAlpha is the latency sketch's relative-error bound (0 =
+	// stats.DefaultSketchAlpha).
+	SketchAlpha float64
+	// KeepLatencies retains every completed request's latency in seconds,
+	// in completion order — the exact-oracle input of the differential
+	// tests. Off by default: the whole point of the sketch is not keeping
+	// millions of float64s.
+	KeepLatencies bool
+}
+
+// TenantReport is the per-tenant outcome of a run.
+type TenantReport struct {
+	Name string
+	// Offered counts generated arrivals; Shed the ones refused by
+	// admission control; Completed the ones fully served inside the window.
+	// Offered - Shed - Completed requests were still in flight at the end.
+	Offered, Shed, Completed uint64
+	// InFlightEnd is the admission count still open when the window closed.
+	InFlightEnd int
+	// DeliveredBytes integrates the tenant's fabric traffic (tagged flows),
+	// including partial progress of still-running requests.
+	DeliveredBytes float64
+	// P50/P95/P99 are sketch-estimated completion-latency percentiles.
+	P50, P95, P99 sim.Duration
+	// SLOP99 echoes the tenant's target; SLOAttainment is the fraction of
+	// completed requests at or under it (NaN when no SLO was declared or
+	// nothing completed).
+	SLOP99        sim.Duration
+	SLOAttainment float64
+	// Sketch is the full latency sketch (seconds), for merging or extra
+	// quantiles. Latencies carries the raw values when
+	// Config.KeepLatencies was set.
+	Sketch    *stats.Sketch
+	Latencies []float64
+}
+
+// OfferedRate returns the realized offered request rate over the window.
+func (r *TenantReport) OfferedRate(d sim.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(r.Offered) / d.Seconds()
+}
+
+// GoodputBps returns the tenant's delivered bandwidth over the window.
+func (r *TenantReport) GoodputBps(d sim.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return r.DeliveredBytes / d.Seconds()
+}
+
+// Report is the outcome of one traffic run, tenants in spec order.
+type Report struct {
+	Duration sim.Duration
+	Tenants  []TenantReport
+}
+
+// tenantState is the shared admission/accounting state of one tenant,
+// touched only from simulated processes (the kernel serializes those).
+type tenantState struct {
+	spec     *Tenant
+	offered  uint64
+	shed     uint64
+	complete uint64
+	inflight int
+	capacity int
+	sketch   *stats.Sketch
+	lats     []float64
+	keep     bool
+}
+
+// reqFiles is the rotating file-set size per tenant×shard: requests cycle
+// through this many paths, so the namespace stays bounded no matter how
+// many requests a run generates.
+const reqFiles = 16
+
+// Run executes the spec against a storage system and reports per-tenant
+// SLO outcomes. mount mints a fresh client mount for the named tenant on
+// compute node `node` (0-based, < nodes); the engine creates one mount per
+// tenant×node shard and — when the mount supports fsapi.FlowTagger — tags
+// it so the tenant's fabric bytes are attributed. fab may be nil when no
+// delivered-byte accounting is wanted.
+//
+// One generator process per tenant×node shard carries 1/nodes-th of the
+// tenant's aggregate arrival stream (see arrivalGen for why the merge is
+// exact for Poisson-family processes), so process count is
+// O(tenants×nodes + in-flight requests) regardless of Tenant.Clients.
+//
+// Run drives env itself (RunUntil the window's end) and must be called
+// with a quiescent env; fault schedules armed on the same env beforehand
+// compose naturally — their timers fire inside the window.
+func Run(env *sim.Env, fab *sim.Fabric, nodes int, mount func(tenant string, node int) fsapi.Client, cfg Config) Report {
+	if err := cfg.Spec.Validate(); err != nil {
+		panic(fmt.Sprintf("traffic: invalid spec: %v", err))
+	}
+	if nodes <= 0 {
+		panic("traffic: need at least one node")
+	}
+	if cfg.Duration <= 0 {
+		panic("traffic: need a positive duration")
+	}
+	scale := cfg.LoadScale
+	if scale == 0 {
+		scale = 1
+	}
+	end := sim.Time(0).Add(cfg.Duration)
+
+	states := make([]*tenantState, len(cfg.Spec.Tenants))
+	for ti := range cfg.Spec.Tenants {
+		t := &cfg.Spec.Tenants[ti]
+		st := &tenantState{
+			spec:     t,
+			capacity: t.MaxInflight,
+			sketch:   stats.NewSketch(cfg.SketchAlpha),
+			keep:     cfg.KeepLatencies,
+		}
+		states[ti] = st
+		shardRate := t.AggregateRate() * scale / float64(nodes)
+		for node := 0; node < nodes; node++ {
+			cl := mount(t.Name, node)
+			if tg, ok := cl.(fsapi.FlowTagger); ok {
+				tg.SetFlowTag(t.Name)
+			}
+			gen := newArrivalGen(t.Arrival, shardRate, shardSeed(cfg.Seed, ti, node))
+			launchShard(env, st, cl, gen, node, end)
+		}
+	}
+
+	env.RunUntil(end)
+
+	rep := Report{Duration: cfg.Duration}
+	for _, st := range states {
+		tr := TenantReport{
+			Name:        st.spec.Name,
+			Offered:     st.offered,
+			Shed:        st.shed,
+			Completed:   st.complete,
+			InFlightEnd: st.inflight,
+			SLOP99:      st.spec.SLOP99,
+			Sketch:      st.sketch,
+			Latencies:   st.lats,
+		}
+		if fab != nil {
+			tr.DeliveredBytes = fab.TagBytes(st.spec.Name)
+		}
+		tr.P50 = sketchDur(st.sketch, 50)
+		tr.P95 = sketchDur(st.sketch, 95)
+		tr.P99 = sketchDur(st.sketch, 99)
+		tr.SLOAttainment = math.NaN()
+		if st.spec.SLOP99 > 0 && st.complete > 0 {
+			tr.SLOAttainment = st.sketch.FractionBelow(st.spec.SLOP99.Seconds())
+		}
+		rep.Tenants = append(rep.Tenants, tr)
+	}
+	return rep
+}
+
+// sketchDur converts a sketch quantile (seconds) to a duration, 0 when the
+// sketch is empty.
+func sketchDur(s *stats.Sketch, p float64) sim.Duration {
+	q := s.Quantile(p)
+	if math.IsNaN(q) {
+		return 0
+	}
+	return sim.Duration(q * 1e9)
+}
+
+// launchShard starts the generator process of one tenant×node shard.
+func launchShard(env *sim.Env, st *tenantState, cl fsapi.Client, gen *arrivalGen, node int, end sim.Time) {
+	genName := fmt.Sprintf("traffic/%s/gen%d", st.spec.Name, node)
+	reqName := fmt.Sprintf("traffic/%s/req%d", st.spec.Name, node)
+	pathBase := fmt.Sprintf("/traffic/%s/n%d/f", st.spec.Name, node)
+	paths := make([]string, reqFiles)
+	for i := range paths {
+		paths[i] = fmt.Sprintf("%s%d", pathBase, i)
+	}
+	env.Go(genName, func(p *sim.Proc) {
+		var reqIdx uint64
+		for at := gen.next(0); at <= end; at = gen.next(at) {
+			p.SleepUntil(at)
+			st.offered++
+			// Queue-depth backpressure: beyond the cap the request is shed,
+			// never queued — an open-loop client that cannot be admitted has
+			// already missed its deadline.
+			if st.capacity > 0 && st.inflight >= st.capacity {
+				st.shed++
+				continue
+			}
+			st.inflight++
+			path := paths[reqIdx%reqFiles]
+			reqIdx++
+			env.Go(reqName, func(rp *sim.Proc) {
+				start := rp.Now()
+				serveRequest(rp, cl, st.spec, path)
+				st.inflight--
+				st.complete++
+				lat := rp.Now().Sub(start).Seconds()
+				st.sketch.Add(lat)
+				if st.keep {
+					st.lats = append(st.lats, lat)
+				}
+			})
+		}
+	})
+}
+
+// serveRequest performs one request's I/O on the tenant's mount.
+func serveRequest(p *sim.Proc, cl fsapi.Client, t *Tenant, path string) {
+	switch t.Workload {
+	case SeqWrite:
+		cl.StreamWrite(p, path, fsapi.Sequential, t.IOBytes, t.RequestBytes)
+	case SeqRead:
+		cl.StreamRead(p, path, fsapi.Sequential, t.IOBytes, t.RequestBytes)
+	case RandRead:
+		cl.StreamRead(p, path, fsapi.Random, t.IOBytes, t.RequestBytes)
+	case Metadata:
+		f := cl.Open(p, path, false)
+		f.Close(p)
+	}
+}

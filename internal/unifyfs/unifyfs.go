@@ -182,6 +182,9 @@ type client struct {
 	node *nodeState
 	idx  int
 
+	// tag attributes this mount's fabric traffic (fsapi.FlowTagger).
+	tag string
+
 	// Per-owner interconnect paths, cached on first use (chunk sweeps hit
 	// the same few owners over and over); indexed by owner node, one slice
 	// per direction. Treated as immutable once built.
@@ -198,8 +201,16 @@ func (c *client) NodeName() string { return c.node.name }
 // DropCaches implements fsapi.Client: UnifyFS has no client page cache.
 func (c *client) DropCaches() {}
 
+// SetFlowTag implements fsapi.FlowTagger.
+func (c *client) SetFlowTag(tag string) { c.tag = tag }
+
+// stamp applies the mount's flow tag to the calling process at every
+// data-path entry (see fsbase.ClientCore.Stamp for the convention).
+func (c *client) stamp(p *sim.Proc) { p.SetFlowTag(c.tag) }
+
 // Remove implements fsapi.Client.
 func (c *client) Remove(p *sim.Proc, path string) {
+	c.stamp(p)
 	ino := c.sys.ns.Lookup(path)
 	if ino == nil {
 		return
@@ -217,6 +228,7 @@ func (c *client) Remove(p *sim.Proc, path string) {
 
 // Open implements fsapi.Client.
 func (c *client) Open(p *sim.Proc, path string, truncate bool) fsapi.File {
+	c.stamp(p)
 	if c.sys.cfg.ServerLatency > 0 {
 		p.Sleep(c.sys.cfg.ServerLatency)
 	}
@@ -291,6 +303,7 @@ func (c *client) localRemoteSplit(total int64) (local, remote int64) {
 // StreamWrite implements fsapi.Client: local share to the own device,
 // remote share across the interconnect to the peers' devices in parallel.
 func (c *client) StreamWrite(p *sim.Proc, path string, a fsapi.Access, ioSize, total int64) {
+	c.stamp(p)
 	s := c.sys
 	ino := s.ns.Create(path, false)
 	s.ns.Extend(ino, 0, total)
@@ -307,6 +320,7 @@ func (c *client) StreamWrite(p *sim.Proc, path string, a fsapi.Access, ioSize, t
 // engine models the common IOR reorder case by checking chunk ownership of
 // chunk 0.
 func (c *client) StreamRead(p *sim.Proc, path string, a fsapi.Access, ioSize, total int64) {
+	c.stamp(p)
 	s := c.sys
 	ino := s.ns.Lookup(path)
 	ownerIdx := c.idx

@@ -366,6 +366,9 @@ func (c *client) Remove(p *sim.Proc, path string) { c.core.Remove(p, path) }
 // DropCaches implements fsapi.Client.
 func (c *client) DropCaches() { c.core.DropCaches() }
 
+// SetFlowTag implements fsapi.FlowTagger.
+func (c *client) SetFlowTag(tag string) { c.core.SetFlowTag(tag) }
+
 // maybeRetry charges the NFS retransmission penalty on the first operation
 // after the client's CNode assignment changed under it (failover or
 // recovery re-balance). With no retry policy configured the re-pin is
@@ -443,6 +446,7 @@ func (c *client) rebuildPaths() {
 // flow from the client through gateway/rails, the CNode's reduction engine
 // and the fabric into the SCM staging pool.
 func (c *client) StreamWrite(p *sim.Proc, path string, a fsapi.Access, ioSize, total int64) {
+	c.core.Stamp(p)
 	c.maybeRetry(p)
 	ino := c.sys.ns.Create(path, false)
 	c.sys.ns.Extend(ino, 0, total)
@@ -456,6 +460,7 @@ func (c *client) StreamWrite(p *sim.Proc, path string, a fsapi.Access, ioSize, t
 // blocking-request ceiling (no readahead pipelining over NFS for random
 // offsets).
 func (c *client) StreamRead(p *sim.Proc, path string, a fsapi.Access, ioSize, total int64) {
+	c.core.Stamp(p)
 	c.maybeRetry(p)
 	pa := c.readPath()
 	capBps := pa.FlowCap

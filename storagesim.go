@@ -48,7 +48,9 @@ import (
 	"storagesim/internal/repair"
 	"storagesim/internal/replay"
 	"storagesim/internal/sim"
+	"storagesim/internal/stats"
 	"storagesim/internal/trace"
+	"storagesim/internal/traffic"
 	"storagesim/internal/unifyfs"
 	"storagesim/internal/vast"
 	"storagesim/internal/workloads"
@@ -153,6 +155,35 @@ const (
 // ParseFaultSchedule parses the JSON fault-schedule format consumed by
 // `iorbench -faults`.
 func ParseFaultSchedule(data []byte) (FaultSchedule, error) { return faults.ParseSchedule(data) }
+
+// Open-loop multi-tenant traffic engine (see internal/traffic).
+type (
+	// TrafficSpec is a multi-tenant traffic specification.
+	TrafficSpec = traffic.Spec
+	// TrafficTenant is one tenant: a client population with a workload
+	// mix, an arrival process, an admission cap and an SLO.
+	TrafficTenant = traffic.Tenant
+	// TrafficArrival selects and parameterizes a tenant's arrival process.
+	TrafficArrival = traffic.Arrival
+	// TrafficConfig parameterizes one open-loop window.
+	TrafficConfig = traffic.Config
+	// TrafficReport is the per-tenant outcome of a window.
+	TrafficReport = traffic.Report
+	// TenantReport is one tenant's accounting: offered/shed/completed
+	// counts, delivered bytes, latency quantiles and SLO attainment.
+	TenantReport = traffic.TenantReport
+	// LatencySketch is the streaming quantile sketch backing the SLO
+	// accounting (DDSketch-style, 1% relative error by default).
+	LatencySketch = stats.Sketch
+)
+
+// ParseTenantSpec parses the JSON tenant-spec format consumed by
+// `trafficbench -spec`.
+func ParseTenantSpec(data []byte) (TrafficSpec, error) { return traffic.ParseSpec(data) }
+
+// NewLatencySketch returns an empty sketch with relative accuracy alpha
+// (0 selects the 1% default).
+func NewLatencySketch(alpha float64) *LatencySketch { return stats.NewSketch(alpha) }
 
 // NewFaultInjector returns an injector delivering schedules through env's
 // event calendar.
@@ -372,6 +403,19 @@ var (
 	// presets.
 	RepairThrottled  = repair.Throttled
 	RepairAggressive = repair.Aggressive
+	// SaturationSweep drives the canonical four-tenant, one-million-client
+	// mix open-loop at increasing offered load over the VAST and Lustre
+	// deployments: delivered goodput flattens while p99 turns the
+	// hockey-stick corner.
+	SaturationSweep = experiments.SaturationSweep
+	// SaturationTenants is that canonical tenant mix (also trafficbench's
+	// built-in spec).
+	SaturationTenants = experiments.SaturationTenants
+	// RunTraffic runs an open-loop traffic spec on a machine/fs testbed.
+	RunTraffic = experiments.RunTraffic
+	// RunTrafficWithFaults additionally arms a fault schedule on the
+	// deployment before the window opens.
+	RunTrafficWithFaults = experiments.RunTrafficWithFaults
 	// AblationUnifyFS sweeps UnifyFS's placement and I/O-server policies
 	// (the Section I configurability example).
 	AblationUnifyFS = experiments.AblationUnifyFS
