@@ -10,9 +10,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test race reference-smoke bench-smoke fuzz-smoke chaos-smoke bench test-all
+.PHONY: check vet build test race reference-smoke bench-smoke fuzz-smoke chaos-smoke parallel-smoke bench test-all
 
-check: vet build race reference-smoke bench-smoke fuzz-smoke chaos-smoke
+check: vet build race reference-smoke bench-smoke fuzz-smoke chaos-smoke parallel-smoke
 
 vet:
 	$(GO) vet ./...
@@ -49,6 +49,7 @@ fuzz-smoke:
 	$(GO) test ./internal/units -run XXX -fuzz FuzzParseDuration -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/faults -run XXX -fuzz FuzzSchedule -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/sim -run XXX -fuzz FuzzWheelVsHeap -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/sim -run XXX -fuzz FuzzDomainsVsSequential -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/traffic -run XXX -fuzz FuzzTenantSpec -fuzztime $(FUZZTIME)
 
 # Seeded chaos gate: three pinned storms per backend through the repair
@@ -56,6 +57,15 @@ fuzz-smoke:
 # with `iorbench -fs <fs> -chaos seed=N`.
 chaos-smoke:
 	$(GO) test ./internal/experiments -run 'TestChaos(Smoke|StormDeterministic)' -count=1
+
+# Domain-parallel gate: a two-rack chaos storm advanced on two executors
+# under the race detector must produce the byte-identical digest of the
+# one-executor run; the sharded traffic lockstep goldens run under both
+# the parallel and the forced-sequential (-tags simsequential) builds.
+parallel-smoke:
+	$(GO) test -race ./internal/experiments -run 'TestSharded(ChaosSmoke|TrafficLockstep)' -count=1
+	$(GO) test -tags simsequential ./internal/sim/ -run TestGroup -count=1
+	$(GO) test -tags simsequential ./internal/experiments -run TestShardedTrafficLockstep -count=1
 
 # Engine + solver + figure benchmark sweep, recorded machine-readably in
 # BENCH_kernel.json (with the pre-overhaul numbers carried along from
@@ -70,5 +80,8 @@ bench:
 	$(GO) test ./internal/traffic -run XXX -bench BenchmarkTrafficEngine -benchtime=2s -benchmem \
 	| $(GO) run ./cmd/benchjson -o BENCH_traffic.json \
 	    -note "open-loop traffic engine: cost per generated request (arrival draw, admission, spawn, transfer, sketch)"
+	$(GO) test ./internal/traffic -run XXX -bench BenchmarkParallelTraffic -benchtime=2s -benchmem -cpu=1,2,4,8 \
+	| $(GO) run ./cmd/benchjson -keep-cpu -o BENCH_parallel.json \
+	    -note "domain-parallel scaling sweep: 8 racks, executors = GOMAXPROCS (-cpu suffix); results are bit-identical across the sweep, only wall clock moves"
 
 test-all: build test race

@@ -41,8 +41,13 @@ type document struct {
 }
 
 // cpuSuffix strips the -N GOMAXPROCS suffix Go appends to benchmark names,
-// so records from machines with different core counts share keys.
+// so records from machines with different core counts share keys. The
+// -keep-cpu flag disables the stripping — a `-cpu=1,2,4,8` scaling sweep
+// needs one key per GOMAXPROCS value or the points collapse onto each
+// other.
 var cpuSuffix = regexp.MustCompile(`-\d+$`)
+
+var keepCPU = flag.Bool("keep-cpu", false, "keep the -N GOMAXPROCS suffix on benchmark names (for -cpu sweeps)")
 
 func parseLine(line string) (string, result, bool) {
 	fields := strings.Fields(line)
@@ -74,7 +79,11 @@ func parseLine(line string) (string, result, bool) {
 			r.Metrics[unit] = v
 		}
 	}
-	return cpuSuffix.ReplaceAllString(fields[0], ""), r, true
+	name := fields[0]
+	if !*keepCPU {
+		name = cpuSuffix.ReplaceAllString(name, "")
+	}
+	return name, r, true
 }
 
 func main() {

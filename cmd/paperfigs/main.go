@@ -35,6 +35,9 @@ func main() {
 	seed := flag.Uint64("seed", 0x5eed, "random seed for contention and shuffles")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	racks := flag.Int("racks", 0, "shard the traffic-driven figures over this many racks (0 = classic single-env path)")
+	domains := flag.Int("domains", 0, "executors advancing the racks in parallel (0 = GOMAXPROCS); results are identical for every value")
+	remote := flag.Float64("remote", 0.25, "cross-rack placement fraction when -racks > 1")
 	flag.Parse()
 	_ = plots
 
@@ -67,7 +70,10 @@ func main() {
 		}()
 	}
 
-	opts := storagesim.ExperimentOptions{Reps: *reps, Quick: *quick, Seed: *seed}
+	opts := storagesim.ExperimentOptions{
+		Reps: *reps, Quick: *quick, Seed: *seed,
+		Racks: *racks, Domains: *domains, RemoteFraction: *remote,
+	}
 	want := strings.ToLower(*fig)
 	ran := 0
 	for _, f := range figures {

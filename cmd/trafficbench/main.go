@@ -34,6 +34,9 @@ func main() {
 	load := flag.Float64("load", 1, "offered-load multiplier applied to every tenant's arrival rate")
 	faultsFile := flag.String("faults", "", "JSON fault schedule to arm during the window (see internal/faults)")
 	printSpec := flag.Bool("print-spec", false, "print the built-in tenant spec as JSON and exit")
+	racks := flag.Int("racks", 1, "split the cluster into this many racks (domain shards), -nodes per rack")
+	domains := flag.Int("domains", 0, "executors advancing the racks in parallel (0 = GOMAXPROCS); results are identical for every value")
+	remote := flag.Float64("remote", 0.25, "fraction of requests placed on another rack (racks > 1)")
 	flag.Parse()
 
 	spec := experiments.SaturationTenants()
@@ -73,14 +76,38 @@ func main() {
 	}
 
 	cfg := traffic.Config{Spec: spec, Duration: window, Seed: *seed, LoadScale: *load}
-	rep, applied, err := experiments.RunTrafficWithFaults(*machine, experiments.FS(strings.ToLower(*fs)),
-		*nodes, cfg, sched)
-	if err != nil {
-		fail(err)
+	var rep traffic.Report
+	var applied []faults.Applied
+	if *racks > 1 {
+		if *faultsFile != "" {
+			fail(fmt.Errorf("-faults is not supported with -racks > 1 (use the chaos gate's sharded storms)"))
+		}
+		srep, err := experiments.RunShardedTraffic(*machine, experiments.FS(strings.ToLower(*fs)),
+			*racks, *nodes, *domains, traffic.ShardedConfig{Config: cfg, RemoteFraction: *remote})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("machine=%s fs=%s racks=%d nodes/rack=%d domains=%d remote=%g window=%v load=%gx seed=%#x\n",
+			*machine, *fs, *racks, *nodes, *domains, *remote, window, *load, *seed)
+		for _, rr := range srep.Racks {
+			var offered, completed uint64
+			for _, tr := range rr.Tenants {
+				offered += tr.Offered
+				completed += tr.Completed
+			}
+			fmt.Printf("  %s: offered=%d completed=%d\n", rr.Name, offered, completed)
+		}
+		rep = traffic.Report{Duration: srep.Duration, Tenants: srep.Tenants}
+	} else {
+		var err error
+		rep, applied, err = experiments.RunTrafficWithFaults(*machine, experiments.FS(strings.ToLower(*fs)),
+			*nodes, cfg, sched)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("machine=%s fs=%s nodes=%d window=%v load=%gx seed=%#x\n",
+			*machine, *fs, *nodes, window, *load, *seed)
 	}
-
-	fmt.Printf("machine=%s fs=%s nodes=%d window=%v load=%gx seed=%#x\n",
-		*machine, *fs, *nodes, window, *load, *seed)
 	for _, a := range applied {
 		fmt.Printf("  fault: %v\n", a)
 	}

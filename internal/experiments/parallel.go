@@ -1,11 +1,19 @@
 package experiments
 
-import "sync"
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
 
-// runReps executes the repetitions of one sweep point concurrently, one
-// goroutine per repetition. Each repetition builds its own sim.Env and
-// testbed (buildTestbed allocates everything fresh; no backend keeps
-// package-level mutable state), so the simulations are fully independent.
+// runReps executes the repetitions of one sweep point concurrently on a
+// bounded worker pool — min(reps, GOMAXPROCS) workers pulling repetition
+// indices off an atomic counter. Each repetition builds its own sim.Env
+// and testbed (buildTestbed allocates everything fresh; no backend keeps
+// package-level mutable state), so the simulations are fully independent,
+// and each simulation is itself a goroutine-heavy baton-handoff system —
+// capping the fan-out keeps peak memory at pool-width simulations instead
+// of `reps` simultaneous ones.
 //
 // Determinism is preserved by construction:
 //
@@ -13,7 +21,7 @@ import "sync"
 //     *before* the fan-out, so the draw sequence is identical to the old
 //     serial loop;
 //   - results land in a slice indexed by repetition, so the merge order
-//     never depends on goroutine finish order;
+//     never depends on worker finish order;
 //   - on error, the lowest-numbered failing repetition wins.
 func runReps[T any](reps int, derate func(rep int) float64, point func(rep int, derate float64) (T, error)) ([]T, error) {
 	factors := make([]float64, reps)
@@ -22,13 +30,23 @@ func runReps[T any](reps int, derate func(rep int) float64, point func(rep int, 
 	}
 	out := make([]T, reps)
 	errs := make([]error, reps)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > reps {
+		workers = reps
+	}
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	for rep := 0; rep < reps; rep++ {
-		rep := rep
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			out[rep], errs[rep] = point(rep, factors[rep])
+			for {
+				rep := int(next.Add(1)) - 1
+				if rep >= reps {
+					return
+				}
+				out[rep], errs[rep] = point(rep, factors[rep])
+			}
 		}()
 	}
 	wg.Wait()

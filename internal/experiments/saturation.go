@@ -128,18 +128,18 @@ func SaturationSweep(opts Options) ([]Panel, error) {
 		gp := stats.Series{Name: d.name}
 		tl := stats.Series{Name: d.name}
 		for _, load := range saturationLoads(opts.Quick) {
-			rep, err := RunTraffic(d.machine, d.fs, d.nodes, traffic.Config{
+			tenants, err := runSaturationPoint(d.machine, d.fs, d.nodes, traffic.Config{
 				Spec:      SaturationTenants(),
 				Duration:  window,
 				Seed:      opts.Seed,
 				LoadScale: load,
-			})
+			}, opts)
 			if err != nil {
 				return nil, err
 			}
 			var delivered float64
 			merged := stats.NewSketch(0)
-			for _, tr := range rep.Tenants {
+			for _, tr := range tenants {
 				delivered += tr.DeliveredBytes
 				merged.Merge(tr.Sketch)
 			}
@@ -153,6 +153,9 @@ func SaturationSweep(opts Options) ([]Panel, error) {
 		tail.Series = append(tail.Series, tl)
 	}
 	note := fmt.Sprintf("open-loop window %v; seed %#x; load x scales every tenant's arrival rate", window, opts.Seed)
+	if opts.Racks > 1 {
+		note += fmt.Sprintf("; sharded over %d racks (remote fraction %g)", opts.Racks, opts.RemoteFraction)
+	}
 	goodput.Notes = append(goodput.Notes, note,
 		"goodput counts tagged fabric bytes delivered inside the window, including partial requests")
 	tail.Notes = append(tail.Notes, note,

@@ -50,7 +50,14 @@ type testbed struct {
 // non-nil, adjusts the VAST config before instantiation (ablations).
 func buildTestbed(machine string, fs FS, n int, mutateVAST func(*vast.Config)) (*testbed, error) {
 	env := sim.NewEnv()
-	fab := sim.NewFabric(env)
+	return buildTestbedOn(env, sim.NewFabric(env), machine, fs, n, mutateVAST)
+}
+
+// buildTestbedOn is buildTestbed on a caller-owned env and fabric — the
+// domain-sharded experiments build one testbed per rack shard, each on the
+// shard's own Env, so racks advance in parallel under the group
+// coordinator.
+func buildTestbedOn(env *sim.Env, fab *sim.Fabric, machine string, fs FS, n int, mutateVAST func(*vast.Config)) (*testbed, error) {
 	spec, err := cluster.MachineByName(machine)
 	if err != nil {
 		return nil, err

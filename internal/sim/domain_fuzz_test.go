@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// fuzzMix is a local splitmix64 so the fuzzed model's randomness is
+// self-contained and deterministic per input.
+func fuzzMix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// fuzzGroupDigest builds a randomized multi-shard model from (seed, shards,
+// lat, events) and executes it at the given executor cap, returning an
+// event-order-sensitive digest: every message reception folds its receive
+// time and payload into the receiving shard's accumulator, and shard
+// accumulators concatenate in shard order.
+func fuzzGroupDigest(parallel int, seed uint64, nshards, lat, events int) string {
+	g := NewGroup(parallel)
+	digests := make([]uint64, nshards)
+	shards := make([]*Shard, nshards)
+	for i := range shards {
+		shards[i] = g.AddShard(fmt.Sprintf("s%d", i), NewEnv())
+	}
+	g.LinkAll(Duration(lat))
+	for i, s := range shards {
+		i, s := i, s
+		rng := seed ^ uint64(i)*0x9e3779b97f4a7c15
+		s.Env().Go("gen", func(p *Proc) {
+			r := rng
+			for k := 0; k < events; k++ {
+				r = fuzzMix(r)
+				p.Sleep(Duration(r%301) + 1)
+				r = fuzzMix(r)
+				target := int(r % uint64(nshards))
+				payload := r
+				if target == i {
+					// Local work: bump the own digest in-line.
+					digests[i] = (digests[i] ^ payload) * 0x100000001b3
+					continue
+				}
+				to := shards[target]
+				r = fuzzMix(r)
+				extra := Duration(r % 97)
+				s.Send(to, extra, func() {
+					digests[target] = (digests[target] ^ uint64(to.Env().Now()) ^ payload) * 0x100000001b3
+				})
+			}
+		})
+	}
+	g.Run(Time(events * 400))
+	g.Shutdown()
+	var b strings.Builder
+	for i, d := range digests {
+		fmt.Fprintf(&b, "s%d=%016x now=%d;", i, d, shards[i].Env().Now())
+	}
+	return b.String()
+}
+
+// FuzzDomainsVsSequential is the lockstep fuzz gating the domain-parallel
+// coordinator: any randomized shard topology and message schedule must
+// produce byte-identical digests under the strictly sequential oracle
+// (parallel=1) and under 2- and 4-executor parallel execution.
+func FuzzDomainsVsSequential(f *testing.F) {
+	f.Add(uint64(1), uint8(2), uint16(10), uint8(20))
+	f.Add(uint64(0x5eed), uint8(3), uint16(1), uint8(40))
+	f.Add(uint64(42), uint8(4), uint16(350), uint8(60))
+	f.Add(uint64(7777), uint8(4), uint16(65535), uint8(10))
+	f.Fuzz(func(t *testing.T, seed uint64, shardsRaw uint8, latRaw uint16, eventsRaw uint8) {
+		nshards := 2 + int(shardsRaw)%3 // 2..4
+		lat := 1 + int(latRaw)%1000
+		events := 1 + int(eventsRaw)%60
+		want := fuzzGroupDigest(1, seed, nshards, lat, events)
+		for _, parallel := range []int{2, 4} {
+			if got := fuzzGroupDigest(parallel, seed, nshards, lat, events); got != want {
+				t.Fatalf("parallel=%d diverged (shards=%d lat=%d events=%d):\n got %s\nwant %s",
+					parallel, nshards, lat, events, got, want)
+			}
+		}
+	})
+}

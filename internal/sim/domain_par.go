@@ -1,0 +1,10 @@
+//go:build !simsequential
+
+package sim
+
+// forceSequentialGroups selects the domain execution mode at build time. The
+// default build advances shards on parallel executors; `go build -tags
+// simsequential` forces every Group through the strictly sequential in-line
+// path — the differential oracle build, mirroring -tags simreference for the
+// event queue.
+const forceSequentialGroups = false

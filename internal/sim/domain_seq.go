@@ -1,0 +1,8 @@
+//go:build simsequential
+
+package sim
+
+// forceSequentialGroups under -tags simsequential: every domain group runs
+// its shards strictly sequentially on the caller's goroutine, whatever
+// parallelism was requested. See domain_par.go for the default.
+const forceSequentialGroups = true

@@ -362,6 +362,32 @@ func (e *Env) RunUntil(deadline Time) Time {
 	return e.now
 }
 
+// StepUntil is RunUntil for callers that will advance the clock again: the
+// pooled worker goroutines stay parked for the next step instead of being
+// dismissed and respawned. A domain executor stepping its shard through
+// thousands of conservative-synchronization windows calls this once per
+// window; pay stopWorkers only once, via Shutdown, when the whole run ends.
+func (e *Env) StepUntil(deadline Time) Time {
+	e.deadline = deadline
+	e.runLoop()
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// Shutdown dismisses the environment's idle worker pool. Required after a
+// StepUntil sequence (Run and RunUntil shut the pool down themselves);
+// calling it on an already-quiesced Env is a no-op.
+func (e *Env) Shutdown() { e.stopWorkers() }
+
+// NextEventAt returns the timestamp of the earliest live calendar event,
+// reporting false when the calendar is empty. The domain coordinator uses it
+// to skip conservative-synchronization windows in which no shard has any
+// work — without it, a sparse simulation would pay one barrier per lookahead
+// of virtual time no matter how empty the calendar is.
+func (e *Env) NextEventAt() (Time, bool) { return e.q.nextAt() }
+
 func (e *Env) pushBlocked(p *Proc, why string) {
 	p.blockedIdx = len(e.blocked)
 	e.blocked = append(e.blocked, blockedProc{p: p, why: why})

@@ -3,7 +3,7 @@ package sim
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 )
 
 // Fabric is a system of bandwidth Pipes with a global max–min fair-share
@@ -220,7 +220,9 @@ type Flow struct {
 	class  *flowClass
 	seq    uint64  // start order, used for deterministic completion events
 	target float64 // class work level (bytes per member) at which it is done
-	done   *Event
+	// done is embedded by value: one Flow allocation carries its completion
+	// event, halving the per-flow allocation count on the start path.
+	done Event
 }
 
 // Rate returns the flow's currently allocated bandwidth in bytes/sec.
@@ -277,7 +279,7 @@ func (f *Fabric) StartFlowTagged(pipes []*Pipe, bytes float64, rateCap float64, 
 		class:  c,
 		seq:    f.flowSeq,
 		target: c.work + bytes,
-		done:   NewEvent(f.env),
+		done:   Event{env: f.env},
 	}
 	f.flowSeq++
 	c.pushMember(fl)
@@ -291,7 +293,7 @@ func (f *Fabric) StartFlowTagged(pipes []*Pipe, bytes float64, rateCap float64, 
 }
 
 // Done exposes the completion event of a flow started with StartFlow.
-func (fl *Flow) Done() *Event { return fl.done }
+func (fl *Flow) Done() *Event { return &fl.done }
 
 // advance accrues progress on every active class at the rates computed by
 // the last solve. It must be called before any state change. Cost is
@@ -400,8 +402,14 @@ func (f *Fabric) reapFinished() {
 	f.liveFlows -= len(reaped)
 	// Fire completions in flow-start order: the seed implementation kept a
 	// global start-ordered flow list, and waiter wake-up order is part of
-	// the deterministic schedule.
-	sort.Slice(reaped, func(i, j int) bool { return reaped[i].seq < reaped[j].seq })
+	// the deterministic schedule. slices.SortFunc keeps the sort off the
+	// heap — sort.Slice costs two allocations per reap on this hot path.
+	slices.SortFunc(reaped, func(a, b *Flow) int {
+		if a.seq < b.seq {
+			return -1
+		}
+		return 1
+	})
 	for _, fl := range reaped {
 		fl.done.Fire()
 	}

@@ -119,6 +119,10 @@ type Event struct {
 	env     *Env
 	fired   bool
 	waiters []*Proc
+	// w0 backs the single-waiter fast path: the first Wait parks without a
+	// heap allocation (a Transfer's completion event has exactly one
+	// waiter, and flows dominate event volume on large sweeps).
+	w0 [1]*Proc
 }
 
 // NewEvent returns an unfired event bound to env.
@@ -144,6 +148,9 @@ func (ev *Event) Fire() {
 func (ev *Event) Wait(p *Proc) {
 	if ev.fired {
 		return
+	}
+	if ev.waiters == nil {
+		ev.waiters = ev.w0[:0]
 	}
 	ev.waiters = append(ev.waiters, p)
 	p.park("event")

@@ -18,6 +18,13 @@ func (q *refQueue) live() int              { return q.h.len() }
 
 func (q *refQueue) insert(ev *timedEvent) { q.h.push(ev) }
 
+func (q *refQueue) nextAt() (Time, bool) {
+	if q.h.len() == 0 {
+		return 0, false
+	}
+	return q.h.peek().at, true
+}
+
 func (q *refQueue) pop(limit Time) *timedEvent {
 	if q.h.len() == 0 || q.h.peek().at > limit {
 		return nil

@@ -154,6 +154,40 @@ func (q *calQueue) pop(limit Time) *timedEvent {
 	}
 }
 
+// nextAt returns the timestamp of the earliest live event without disturbing
+// the calendar. Buckets are scanned in ring order from the window base; the
+// first bucket holding a live (non-tombstone) event wins, because each bucket
+// covers a disjoint time range and every wheel event precedes every overflow
+// event (admission requires at - base < wheelSpan). The scan does not sort —
+// a min over the bucket's live items is enough — so the calendar's lazy
+// sort-on-first-drain behavior is untouched.
+func (q *calQueue) nextAt() (Time, bool) {
+	if q.wheelLive > 0 {
+		s := int(q.base >> wheelBucketShift)
+		for i := 0; i < wheelBuckets; i++ {
+			b := (s + i) & wheelMask
+			if q.occupied[b>>6]&(1<<(b&63)) == 0 {
+				continue
+			}
+			bk := &q.buckets[b]
+			best, found := Time(0), false
+			for _, ev := range bk.items[bk.head:] {
+				if ev.kind != evDead && (!found || ev.at < best) {
+					best, found = ev.at, true
+				}
+			}
+			if found {
+				return best, true
+			}
+		}
+		panic("sim: calendar live count out of sync")
+	}
+	if q.overflow.len() > 0 {
+		return q.overflow.peek().at, true
+	}
+	return 0, false
+}
+
 // cancel removes a pending event: heap events are cut out of the overflow
 // immediately; bucket events are tombstoned in place (excluded from live
 // counts at once, recycled when the drain sweeps past them).

@@ -1,0 +1,344 @@
+package traffic
+
+import (
+	"fmt"
+	"math"
+
+	"storagesim/internal/fsapi"
+	"storagesim/internal/sim"
+	"storagesim/internal/stats"
+)
+
+// Sharded execution: the same open-loop multi-tenant engine, but spread
+// over a domain-partitioned cluster. Each Rack is one sim.Group shard — its
+// own Env, fabric and backend instance — and racks advance concurrently
+// under the group's conservative synchronization. Tenants span the whole
+// cluster: every rack carries its slice of each tenant's arrival stream,
+// and a configurable fraction of requests are *remote* — their data lives
+// on another rack (placement by request hash), so they are forwarded over
+// the inter-rack link, served by the owning rack's backend, and the reply
+// crosses the link again. Remote traffic is the coupling surface that makes
+// the partition a single simulation rather than R independent ones.
+
+// Rack describes one shard of a sharded deployment.
+type Rack struct {
+	// Shard is the rack's slot in the domain group (its Env drives every
+	// process of this rack).
+	Shard *sim.Shard
+	// Fab is the rack's fabric, used for per-tenant delivered-byte
+	// attribution; nil disables goodput accounting for this rack.
+	Fab *sim.Fabric
+	// Nodes is the rack's compute-node count.
+	Nodes int
+	// Mount mints a fresh client mount for the named tenant on rack-local
+	// node i, exactly like the mount callback of Run.
+	Mount func(tenant string, node int) fsapi.Client
+}
+
+// ShardedConfig parameterizes a sharded traffic run.
+type ShardedConfig struct {
+	Config
+	// RemoteFraction is the probability that a request's data lives on
+	// another rack (uniform over the others), drawn per request from a
+	// deterministic placement stream. 0 decouples the racks entirely;
+	// realistic scale-out deployments sit somewhere below 1 - 1/racks.
+	RemoteFraction float64
+}
+
+// RackReport is the rack-local accounting of one rack: arrivals generated
+// on the rack (including its forwarded remote requests) and bytes served by
+// the rack's own backend.
+type RackReport struct {
+	Rack    int
+	Name    string
+	Tenants []TenantReport
+}
+
+// ShardedReport is the outcome of a sharded run: per-rack accounting plus
+// the cluster-wide merge (tenant sums, sketches merged in rack order).
+type ShardedReport struct {
+	Duration sim.Duration
+	Racks    []RackReport
+	Tenants  []TenantReport
+}
+
+// Digest renders the full observable outcome with float bit patterns — the
+// event-order-sensitive witness the lockstep tests compare across executor
+// layouts and against the sequential oracle.
+func (r ShardedReport) Digest() string {
+	out := fmt.Sprintf("window=%v", r.Duration)
+	for _, rr := range r.Racks {
+		out += fmt.Sprintf(" [%s", rr.Name)
+		for _, tr := range rr.Tenants {
+			out += fmt.Sprintf(" %s:%d/%d/%d/%d:%016x:%016x/%016x/%016x",
+				tr.Name, tr.Offered, tr.Shed, tr.Completed, tr.InFlightEnd,
+				math.Float64bits(tr.DeliveredBytes),
+				math.Float64bits(tr.P50.Seconds()),
+				math.Float64bits(tr.P95.Seconds()),
+				math.Float64bits(tr.P99.Seconds()))
+		}
+		out += "]"
+	}
+	return out
+}
+
+// rackTenant is the rack-local admission/accounting state of one tenant —
+// touched only from the rack's own Env, so the domain executors never share
+// it.
+type rackTenant struct {
+	tenantState
+	remoteMount fsapi.Client // serves requests forwarded from other racks
+}
+
+// RunSharded executes the spec across the racks of a domain group and
+// reports per-rack and merged SLO outcomes. The group must be fresh (its
+// barrier clock at zero) with every rack's Shard registered on it and
+// inter-rack links declared (required when RemoteFraction > 0). RunSharded
+// drives the group itself; the caller shuts it down afterwards.
+func RunSharded(g *sim.Group, racks []Rack, cfg ShardedConfig) ShardedReport {
+	if err := cfg.Spec.Validate(); err != nil {
+		panic(fmt.Sprintf("traffic: invalid spec: %v", err))
+	}
+	if len(racks) == 0 {
+		panic("traffic: need at least one rack")
+	}
+	if cfg.Duration <= 0 {
+		panic("traffic: need a positive duration")
+	}
+	if cfg.RemoteFraction < 0 || cfg.RemoteFraction > 1 {
+		panic("traffic: remote fraction out of [0,1]")
+	}
+	if g.Now() != 0 {
+		panic("traffic: sharded run needs a fresh group")
+	}
+	scale := cfg.LoadScale
+	if scale == 0 {
+		scale = 1
+	}
+	remote := cfg.RemoteFraction
+	if len(racks) == 1 {
+		remote = 0 // nowhere else to place data
+	}
+	end := sim.Time(0).Add(cfg.Duration)
+
+	totalNodes := 0
+	for _, rk := range racks {
+		if rk.Nodes <= 0 {
+			panic("traffic: rack needs at least one node")
+		}
+		totalNodes += rk.Nodes
+	}
+
+	// states[r][ti] is rack r's accounting slot for tenant ti.
+	states := make([][]*rackTenant, len(racks))
+	for r := range racks {
+		states[r] = make([]*rackTenant, len(cfg.Spec.Tenants))
+	}
+	for ti := range cfg.Spec.Tenants {
+		t := &cfg.Spec.Tenants[ti]
+		// Admission capacity is rack-local: the tenant's global in-flight
+		// cap split evenly (rounded up) across the racks carrying it.
+		rackCap := t.MaxInflight
+		if rackCap > 0 && len(racks) > 1 {
+			rackCap = (rackCap + len(racks) - 1) / len(racks)
+		}
+		for r := range racks {
+			st := &rackTenant{}
+			st.spec = t
+			st.capacity = rackCap
+			st.sketch = stats.NewSketch(cfg.SketchAlpha)
+			st.keep = cfg.KeepLatencies
+			states[r][ti] = st
+		}
+	}
+
+	// Mount order per rack: every tenant's per-node generator mounts first
+	// (matching Run's order exactly, so a 1-rack sharded run reproduces the
+	// unsharded byte stream), then — only when remote traffic exists — one
+	// remote-service mount per tenant.
+	base := 0
+	for r := range racks {
+		rk := &racks[r]
+		for ti := range cfg.Spec.Tenants {
+			t := &cfg.Spec.Tenants[ti]
+			shardRate := t.AggregateRate() * scale / float64(totalNodes)
+			for node := 0; node < rk.Nodes; node++ {
+				cl := rk.Mount(t.Name, node)
+				if tg, ok := cl.(fsapi.FlowTagger); ok {
+					tg.SetFlowTag(t.Name)
+				}
+				gen := newArrivalGen(t.Arrival, shardRate, shardSeed(cfg.Seed, ti, base+node))
+				place := placementSeed(cfg.Seed, ti, base+node)
+				launchRackShard(g, racks, states, r, ti, cl, gen, node, end, remote, place)
+			}
+		}
+		if remote > 0 {
+			for ti := range cfg.Spec.Tenants {
+				t := &cfg.Spec.Tenants[ti]
+				cl := rk.Mount(t.Name+"@rem", ti%rk.Nodes)
+				if tg, ok := cl.(fsapi.FlowTagger); ok {
+					tg.SetFlowTag(t.Name)
+				}
+				states[r][ti].remoteMount = cl
+			}
+		}
+		base += rk.Nodes
+	}
+
+	g.Run(end)
+
+	rep := ShardedReport{Duration: cfg.Duration}
+	for r := range racks {
+		rr := RackReport{Rack: r, Name: racks[r].Shard.Name()}
+		for ti := range cfg.Spec.Tenants {
+			st := states[r][ti]
+			tr := tenantReport(&st.tenantState)
+			if racks[r].Fab != nil {
+				tr.DeliveredBytes = racks[r].Fab.TagBytes(st.spec.Name)
+			}
+			rr.Tenants = append(rr.Tenants, tr)
+		}
+		rep.Racks = append(rep.Racks, rr)
+	}
+	for ti := range cfg.Spec.Tenants {
+		t := &cfg.Spec.Tenants[ti]
+		merged := TenantReport{Name: t.Name, SLOP99: t.SLOP99, Sketch: stats.NewSketch(cfg.SketchAlpha)}
+		for r := range racks {
+			tr := &rep.Racks[r].Tenants[ti]
+			merged.Offered += tr.Offered
+			merged.Shed += tr.Shed
+			merged.Completed += tr.Completed
+			merged.InFlightEnd += tr.InFlightEnd
+			merged.DeliveredBytes += tr.DeliveredBytes
+			merged.Sketch.Merge(tr.Sketch)
+			merged.Latencies = append(merged.Latencies, tr.Latencies...)
+		}
+		merged.P50 = sketchDur(merged.Sketch, 50)
+		merged.P95 = sketchDur(merged.Sketch, 95)
+		merged.P99 = sketchDur(merged.Sketch, 99)
+		merged.SLOAttainment = math.NaN()
+		if t.SLOP99 > 0 && merged.Completed > 0 {
+			merged.SLOAttainment = merged.Sketch.FractionBelow(t.SLOP99.Seconds())
+		}
+		rep.Tenants = append(rep.Tenants, merged)
+	}
+	return rep
+}
+
+// tenantReport projects one tenant state onto its report row (shared with
+// the unsharded path's bookkeeping fields).
+func tenantReport(st *tenantState) TenantReport {
+	tr := TenantReport{
+		Name:        st.spec.Name,
+		Offered:     st.offered,
+		Shed:        st.shed,
+		Completed:   st.complete,
+		InFlightEnd: st.inflight,
+		SLOP99:      st.spec.SLOP99,
+		Sketch:      st.sketch,
+		Latencies:   st.lats,
+	}
+	tr.P50 = sketchDur(st.sketch, 50)
+	tr.P95 = sketchDur(st.sketch, 95)
+	tr.P99 = sketchDur(st.sketch, 99)
+	tr.SLOAttainment = math.NaN()
+	if st.spec.SLOP99 > 0 && st.complete > 0 {
+		tr.SLOAttainment = st.sketch.FractionBelow(st.spec.SLOP99.Seconds())
+	}
+	return tr
+}
+
+// placementSeed derives the per-generator placement RNG seed, independent
+// of the arrival stream so turning remote traffic on does not perturb
+// arrival times.
+func placementSeed(seed uint64, tenant, shard int) uint64 {
+	return stats.Mix64(shardSeed(seed, tenant, shard) ^ 0x706c6163656d6e74) // "placemnt"
+}
+
+// launchRackShard starts the generator of one tenant×rack×node shard. Local
+// requests run exactly like the unsharded engine's; remote requests are
+// admitted locally, forwarded to the owning rack over the inter-rack link,
+// served there on the tenant's remote-service mount, and completed when the
+// reply message lands back home. The request's latency therefore includes
+// two link crossings plus the remote rack's service time, measured entirely
+// on the home rack's clock.
+func launchRackShard(g *sim.Group, racks []Rack, states [][]*rackTenant, r, ti int,
+	cl fsapi.Client, gen *arrivalGen, node int, end sim.Time, remote float64, placeSeed uint64) {
+	rk := &racks[r]
+	st := states[r][ti]
+	env := rk.Shard.Env()
+	genName := fmt.Sprintf("traffic/%s/r%dgen%d", st.spec.Name, r, node)
+	reqName := fmt.Sprintf("traffic/%s/r%dreq%d", st.spec.Name, r, node)
+	paths := make([]string, reqFiles)
+	remPaths := make([]string, reqFiles)
+	for i := range paths {
+		// Local paths use the unsharded engine's namespace (node indices are
+		// rack-local, and each rack is its own backend), so a 1-rack sharded
+		// run reproduces the unsharded byte stream exactly.
+		paths[i] = fmt.Sprintf("/traffic/%s/n%d/f%d", st.spec.Name, node, i)
+		remPaths[i] = fmt.Sprintf("/traffic/%s/rem-r%dn%d/f%d", st.spec.Name, r, node, i)
+	}
+	place := stats.NewRNG(placeSeed)
+	env.Go(genName, func(p *sim.Proc) {
+		var reqIdx uint64
+		for at := gen.next(0); at <= end; at = gen.next(at) {
+			p.SleepUntil(at)
+			st.offered++
+			if st.capacity > 0 && st.inflight >= st.capacity {
+				st.shed++
+				continue
+			}
+			idx := reqIdx % reqFiles
+			reqIdx++
+			target := r
+			if remote > 0 {
+				// Placement draw: one uniform for the remote decision, one
+				// for the owning rack among the others. Both are consumed
+				// unconditionally so admission backpressure never shifts the
+				// placement stream.
+				u := place.Uint64()
+				v := place.Uint64()
+				if float64(u>>11)/(1<<53) < remote {
+					target = int(v % uint64(len(racks)-1))
+					if target >= r {
+						target++
+					}
+				}
+			}
+			st.inflight++
+			if target == r {
+				path := paths[idx]
+				env.Go(reqName, func(rp *sim.Proc) {
+					start := rp.Now()
+					serveRequest(rp, cl, st.spec, path)
+					st.inflight--
+					st.complete++
+					lat := rp.Now().Sub(start).Seconds()
+					st.sketch.Add(lat)
+					if st.keep {
+						st.lats = append(st.lats, lat)
+					}
+				})
+				continue
+			}
+			start := env.Now()
+			path := remPaths[idx]
+			home, owner := rk.Shard, racks[target].Shard
+			remoteSt := states[target][ti]
+			home.Send(owner, 0, func() {
+				owner.Env().Go(reqName+"@rem", func(rp *sim.Proc) {
+					serveRequest(rp, remoteSt.remoteMount, st.spec, path)
+					owner.Send(home, 0, func() {
+						st.inflight--
+						st.complete++
+						lat := home.Env().Now().Sub(start).Seconds()
+						st.sketch.Add(lat)
+						if st.keep {
+							st.lats = append(st.lats, lat)
+						}
+					})
+				})
+			})
+		}
+	})
+}

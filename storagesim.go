@@ -64,6 +64,13 @@ type (
 	Proc = sim.Proc
 	// Fabric is the bandwidth-sharing system all pipes live on.
 	Fabric = sim.Fabric
+	// Group coordinates a domain-partitioned simulation: shards advance in
+	// parallel under conservative (lookahead-based) synchronization with
+	// bit-identical results for every executor count.
+	Group = sim.Group
+	// Shard is one domain of a Group — its own Env plus typed links to
+	// peers for timestamped cross-domain messages.
+	Shard = sim.Shard
 	// Client is a per-node mount of a simulated file system.
 	Client = fsapi.Client
 	// File is an open file handle.
@@ -169,6 +176,13 @@ type (
 	TrafficConfig = traffic.Config
 	// TrafficReport is the per-tenant outcome of a window.
 	TrafficReport = traffic.Report
+	// ShardedTrafficConfig parameterizes a domain-sharded window: the
+	// classic config plus the cross-rack placement fraction.
+	ShardedTrafficConfig = traffic.ShardedConfig
+	// ShardedTrafficReport carries per-rack and cluster-merged outcomes.
+	ShardedTrafficReport = traffic.ShardedReport
+	// ShardedChaosReport is the outcome of a domain-parallel chaos storm.
+	ShardedChaosReport = experiments.ShardedChaosReport
 	// TenantReport is one tenant's accounting: offered/shed/completed
 	// counts, delivered bytes, latency quantiles and SLO attainment.
 	TenantReport = traffic.TenantReport
@@ -416,6 +430,16 @@ var (
 	// RunTrafficWithFaults additionally arms a fault schedule on the
 	// deployment before the window opens.
 	RunTrafficWithFaults = experiments.RunTrafficWithFaults
+	// NewGroup creates a domain group running on up to `parallel`
+	// executors (0 = GOMAXPROCS).
+	NewGroup = sim.NewGroup
+	// RunShardedTraffic splits a deployment over `racks` domain shards and
+	// drives the traffic engine across them in parallel; a remote fraction
+	// of requests is forwarded over inter-rack links.
+	RunShardedTraffic = experiments.RunShardedTraffic
+	// RunShardedChaosStorm is the chaos gate's domain-parallel variant:
+	// per-rack seeded storms under a sharded traffic foreground.
+	RunShardedChaosStorm = experiments.RunShardedChaosStorm
 	// AblationUnifyFS sweeps UnifyFS's placement and I/O-server policies
 	// (the Section I configurability example).
 	AblationUnifyFS = experiments.AblationUnifyFS
