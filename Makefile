@@ -10,9 +10,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test race reference-smoke bench-smoke fuzz-smoke chaos-smoke parallel-smoke bench test-all
+.PHONY: check vet build test race reference-smoke bench-smoke fuzz-smoke chaos-smoke parallel-smoke fidelity-smoke bench test-all
 
-check: vet build race reference-smoke bench-smoke fuzz-smoke chaos-smoke parallel-smoke
+check: vet build race reference-smoke bench-smoke fuzz-smoke chaos-smoke parallel-smoke fidelity-smoke
 
 vet:
 	$(GO) vet ./...
@@ -26,7 +26,7 @@ test:
 race:
 	$(GO) test -race ./internal/sim/... ./internal/experiments/... \
 		./internal/faults/... ./internal/vast/... ./internal/repair/... \
-		./internal/traffic/...
+		./internal/traffic/... ./internal/trace/... ./internal/fidelity/...
 	$(GO) test -race -tags simreference ./internal/sim/
 
 # The -tags simreference build swaps the DES kernel's calendar queue for the
@@ -51,12 +51,27 @@ fuzz-smoke:
 	$(GO) test ./internal/sim -run XXX -fuzz FuzzWheelVsHeap -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/sim -run XXX -fuzz FuzzDomainsVsSequential -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/traffic -run XXX -fuzz FuzzTenantSpec -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/trace -run XXX -fuzz FuzzParseTraceCSV -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/trace -run XXX -fuzz FuzzParseTraceJSONL -fuzztime $(FUZZTIME)
 
 # Seeded chaos gate: three pinned storms per backend through the repair
 # manager with the invariant suite attached. Reproduce one storm by hand
 # with `iorbench -fs <fs> -chaos seed=N`.
 chaos-smoke:
 	$(GO) test ./internal/experiments -run 'TestChaos(Smoke|StormDeterministic)' -count=1
+
+# Fidelity gate: the round-trip audit (record -> re-ingest -> replay ->
+# error bands) plus the pinned-fixture golden under all three kernel builds
+# (calendar queue, reference heap, forced-sequential groups), and the CLI
+# auditing the checked-in trace end to end. Regenerate the fixture with
+# `go run ./cmd/tracereplay -record ... -o internal/experiments/testdata/
+# fidelity_trace.jsonl` and the golden with -update-golden.
+fidelity-smoke:
+	$(GO) test ./internal/experiments -run 'TestFidelity|TestGoldenFidelityQuick' -count=1
+	$(GO) test -tags simreference ./internal/experiments -run TestGoldenFidelityQuick -count=1
+	$(GO) test -tags simsequential ./internal/experiments -run TestGoldenFidelityQuick -count=1
+	$(GO) run ./cmd/tracereplay -trace internal/experiments/testdata/fidelity_trace.jsonl \
+		-machine Wombat -fs vast -nodes 2 -audit >/dev/null
 
 # Domain-parallel gate: a two-rack chaos storm advanced on two executors
 # under the race detector must produce the byte-identical digest of the

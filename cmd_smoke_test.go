@@ -16,7 +16,7 @@ import (
 func buildCmds(t *testing.T) string {
 	t.Helper()
 	dir := t.TempDir()
-	for _, name := range []string{"paperfigs", "iorbench", "dliobench", "tracestat", "mdbench", "trafficbench"} {
+	for _, name := range []string{"paperfigs", "iorbench", "dliobench", "tracestat", "mdbench", "trafficbench", "tracereplay"} {
 		out := filepath.Join(dir, name)
 		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
 		cmd.Env = os.Environ()
@@ -98,6 +98,22 @@ func TestCommandsSmoke(t *testing.T) {
 		"-machine", "Wombat", "-fs", "vast", "-nodes", "2", "-duration", "500ms")
 	if !strings.Contains(out, "ckpt") || !strings.Contains(out, "goodput") {
 		t.Fatalf("trafficbench output:\n%s", out)
+	}
+
+	// tracereplay round trip: record a short synthetic run, re-ingest it,
+	// replay it on the same deployment, and demand a passing audit.
+	recFile := filepath.Join(dir, "rec.jsonl")
+	run(t, filepath.Join(dir, "tracereplay"),
+		"-record", "-machine", "Wombat", "-fs", "vast", "-nodes", "2",
+		"-duration", "200ms", "-o", recFile)
+	out = run(t, filepath.Join(dir, "tracereplay"),
+		"-trace", recFile, "-machine", "Wombat", "-fs", "vast", "-nodes", "2", "-audit")
+	if !strings.Contains(out, "metrics in band: PASS") || !strings.Contains(out, "rel err") {
+		t.Fatalf("tracereplay audit output:\n%s", out)
+	}
+	out = run(t, filepath.Join(dir, "tracereplay"), "-trace", recFile, "-print-spec")
+	if !strings.Contains(out, "tenants") {
+		t.Fatalf("tracereplay -print-spec output:\n%s", out)
 	}
 
 	csvDir := filepath.Join(dir, "csv")

@@ -1,0 +1,323 @@
+// Package fidelity holds the simulator to measured reality. A recorded
+// trace carries two things: a request stream and the latencies the real
+// system delivered. The traffic engine replays the stream against the
+// model (traffic.ReplayTrace, recorded latencies ignored); this package
+// then compares what the model produced against what was measured —
+// per-tenant goodput, completion counts and p50/p95/p99 latency — and
+// emits a per-metric error-band report: absolute error, relative error,
+// pass/fail against configurable tolerances. Unlike the golden tests
+// (which pin the model to *itself*), a fidelity audit pins the model to a
+// recording, so every future model change is checked against reality
+// rather than against yesterday's model.
+//
+// Error bands, not exact matches: the recorded and simulated percentile
+// estimates each come out of a DDSketch with relative error alpha
+// (stats.Sketch, default 1%), so even a perfect model can disagree by up
+// to ~2·alpha on a percentile. The default tolerances are set just above
+// that floor; anything beyond it is genuine model error.
+package fidelity
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"storagesim/internal/sim"
+	"storagesim/internal/stats"
+	"storagesim/internal/trace"
+	"storagesim/internal/traffic"
+)
+
+// Tolerance bounds the acceptable error per metric family. A metric passes
+// when its relative error is at or under the family's relative bound, or
+// its absolute error is at or under the family's absolute floor (the floor
+// keeps microsecond-scale latencies from failing on nanosecond noise).
+type Tolerance struct {
+	// LatencyRel bounds the relative error of p50/p95/p99 (default 0.02 —
+	// twice the sketch's 1% bound, the documented floor).
+	LatencyRel float64
+	// LatencyAbs is the absolute latency slack (default 100µs).
+	LatencyAbs sim.Duration
+	// GoodputRel bounds the relative error of per-tenant goodput
+	// (default 0.05).
+	GoodputRel float64
+	// CountRel bounds the relative error of completed-request counts
+	// (default 0 — replaying the recorded stream must complete exactly the
+	// recorded requests).
+	CountRel float64
+}
+
+// withDefaults fills unset fields.
+func (t Tolerance) withDefaults() Tolerance {
+	if t.LatencyRel == 0 {
+		t.LatencyRel = 0.02
+	}
+	if t.LatencyAbs == 0 {
+		t.LatencyAbs = 100 * sim.Microsecond
+	}
+	if t.GoodputRel == 0 {
+		t.GoodputRel = 0.05
+	}
+	return t
+}
+
+// Metric is one audited quantity of one tenant.
+type Metric struct {
+	// Tenant names the traffic class; Name the metric ("p50", "p95",
+	// "p99", "goodput", "completed").
+	Tenant, Name string
+	// Recorded and Simulated are the compared values, in Unit.
+	Recorded, Simulated float64
+	// Unit is "s", "B/s" or "requests".
+	Unit string
+	// AbsErr is |Simulated-Recorded| in Unit; RelErr is AbsErr/Recorded
+	// (0 when both are zero, +Inf when only the recording is zero).
+	AbsErr, RelErr float64
+	// Tol is the relative tolerance the metric was held to; Pass reports
+	// whether it held.
+	Tol  float64
+	Pass bool
+}
+
+// Report is a full audit: every metric of every tenant, recorded order by
+// (tenant, metric family).
+type Report struct {
+	Metrics []Metric
+	// Failed counts metrics out of tolerance.
+	Failed int
+}
+
+// Passed reports whether every metric held its error band.
+func (r *Report) Passed() bool { return r.Failed == 0 }
+
+// audit computes one metric's error against its bounds and appends it.
+func (r *Report) audit(tenant, name, unit string, recorded, simulated, relTol, absTol float64) {
+	m := Metric{
+		Tenant: tenant, Name: name, Unit: unit,
+		Recorded: recorded, Simulated: simulated,
+		AbsErr: math.Abs(simulated - recorded),
+		Tol:    relTol,
+	}
+	switch {
+	case recorded == 0 && simulated == 0:
+		m.RelErr = 0
+	case recorded == 0:
+		m.RelErr = math.Inf(1)
+	default:
+		m.RelErr = m.AbsErr / math.Abs(recorded)
+	}
+	m.Pass = m.RelErr <= relTol || m.AbsErr <= absTol
+	if !m.Pass {
+		r.Failed++
+	}
+	r.Metrics = append(r.Metrics, m)
+}
+
+// TenantRecord is the measured reality of one tenant, distilled from its
+// recorded events.
+type TenantRecord struct {
+	Name string
+	// Completed counts recorded requests; Bytes their data payload.
+	Completed uint64
+	Bytes     int64
+	// Makespan spans the tenant's first issue to its last recorded
+	// completion.
+	Makespan sim.Duration
+	// P50/P95/P99 are sketch-estimated percentiles of the recorded
+	// latencies (same sketch, same alpha as the replay side, so both
+	// estimates carry the same error bound).
+	P50, P95, P99 sim.Duration
+	// HasLatencies reports whether every event carried a recorded latency;
+	// without them only goodput and counts are auditable.
+	HasLatencies bool
+}
+
+// GoodputBps returns the tenant's recorded delivered bandwidth over its
+// makespan.
+func (t *TenantRecord) GoodputBps() float64 {
+	if t.Makespan <= 0 {
+		return 0
+	}
+	return float64(t.Bytes) / t.Makespan.Seconds()
+}
+
+// Recorded distills per-tenant measured metrics from a normalized trace.
+// alpha is the sketch error bound (0 = stats.DefaultSketchAlpha).
+func Recorded(tr *trace.Trace, alpha float64) []TenantRecord {
+	byName := map[string]*TenantRecord{}
+	sketches := map[string]*stats.Sketch{}
+	starts := map[string]sim.Time{}
+	ends := map[string]sim.Time{}
+	var order []string
+	for _, ev := range tr.Events {
+		rec := byName[ev.Tenant]
+		if rec == nil {
+			rec = &TenantRecord{Name: ev.Tenant, HasLatencies: true}
+			byName[ev.Tenant] = rec
+			sketches[ev.Tenant] = stats.NewSketch(alpha)
+			starts[ev.Tenant] = ev.At
+			order = append(order, ev.Tenant)
+		}
+		rec.Completed++
+		rec.Bytes += ev.Bytes
+		if ev.At < starts[ev.Tenant] {
+			starts[ev.Tenant] = ev.At
+		}
+		if c := ev.At.Add(ev.Latency); c > ends[ev.Tenant] {
+			ends[ev.Tenant] = c
+		}
+		if ev.Latency > 0 {
+			sketches[ev.Tenant].Add(ev.Latency.Seconds())
+		} else {
+			rec.HasLatencies = false
+		}
+	}
+	sort.Strings(order)
+	out := make([]TenantRecord, 0, len(order))
+	for _, name := range order {
+		rec := byName[name]
+		rec.Makespan = ends[name].Sub(starts[name])
+		sk := sketches[name]
+		rec.P50 = quantileDur(sk, 50)
+		rec.P95 = quantileDur(sk, 95)
+		rec.P99 = quantileDur(sk, 99)
+		out = append(out, *rec)
+	}
+	return out
+}
+
+func quantileDur(s *stats.Sketch, p float64) sim.Duration {
+	q := s.Quantile(p)
+	if math.IsNaN(q) {
+		return 0
+	}
+	return sim.Duration(q * 1e9)
+}
+
+// Audit compares a replay report against the trace's recorded metrics.
+// alpha must match the replay's sketch alpha so both percentile estimates
+// share one error bound. Tenants absent from either side fail loudly: a
+// replay that lost a tenant is not a model error, it is a harness bug.
+func Audit(tr *trace.Trace, rep traffic.Report, tol Tolerance, alpha float64) (*Report, error) {
+	tol = tol.withDefaults()
+	recorded := Recorded(tr, alpha)
+	simulated := map[string]*traffic.TenantReport{}
+	for i := range rep.Tenants {
+		simulated[rep.Tenants[i].Name] = &rep.Tenants[i]
+	}
+	if len(simulated) != len(recorded) {
+		return nil, fmt.Errorf("fidelity: replay reports %d tenants, trace records %d", len(simulated), len(recorded))
+	}
+	out := &Report{}
+	recSpan := tr.Duration().Seconds()
+	for i := range recorded {
+		rec := &recorded[i]
+		sr := simulated[rec.Name]
+		if sr == nil {
+			return nil, fmt.Errorf("fidelity: tenant %q recorded but not replayed", rec.Name)
+		}
+		out.audit(rec.Name, "completed", "requests", float64(rec.Completed), float64(sr.Completed), tol.CountRel, 0.5)
+		if rec.Bytes > 0 && recSpan > 0 && rep.Duration > 0 {
+			// Payload goodput over each side's full makespan: the
+			// application-visible bytes the recording counted, delivered at
+			// the rate each system achieved. Fabric-tagged bytes are not
+			// comparable — the model's replication and read amplification
+			// never appear in a recording.
+			out.audit(rec.Name, "goodput", "B/s",
+				float64(rec.Bytes)/recSpan, sr.PayloadBytes/rep.Duration.Seconds(), tol.GoodputRel, 0)
+		}
+		if rec.HasLatencies {
+			absTol := tol.LatencyAbs.Seconds()
+			out.audit(rec.Name, "p50", "s", rec.P50.Seconds(), sr.P50.Seconds(), tol.LatencyRel, absTol)
+			out.audit(rec.Name, "p95", "s", rec.P95.Seconds(), sr.P95.Seconds(), tol.LatencyRel, absTol)
+			out.audit(rec.Name, "p99", "s", rec.P99.Seconds(), sr.P99.Seconds(), tol.LatencyRel, absTol)
+		}
+	}
+	return out, nil
+}
+
+// WriteText renders the error-band report as a fixed-layout table. The
+// rendering is byte-deterministic — the golden fidelity test pins it.
+func (r *Report) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%-10s %-10s %14s %14s %12s %9s %8s %6s\n",
+		"tenant", "metric", "recorded", "simulated", "abs err", "rel err", "tol", "band"); err != nil {
+		return err
+	}
+	for _, m := range r.Metrics {
+		verdict := "PASS"
+		if !m.Pass {
+			verdict = "FAIL"
+		}
+		rel := "inf"
+		if !math.IsInf(m.RelErr, 0) {
+			rel = fmt.Sprintf("%.3f%%", 100*m.RelErr)
+		}
+		if _, err := fmt.Fprintf(w, "%-10s %-10s %14s %14s %12s %9s %7.1f%% %6s\n",
+			m.Tenant, m.Name, formatValue(m.Recorded, m.Unit), formatValue(m.Simulated, m.Unit),
+			formatValue(m.AbsErr, m.Unit), rel, 100*m.Tol, verdict); err != nil {
+			return err
+		}
+	}
+	verdict := "PASS"
+	if !r.Passed() {
+		verdict = "FAIL"
+	}
+	_, err := fmt.Fprintf(w, "fidelity: %d/%d metrics in band: %s\n",
+		len(r.Metrics)-r.Failed, len(r.Metrics), verdict)
+	return err
+}
+
+// String renders the report (WriteText).
+func (r *Report) String() string {
+	var b strings.Builder
+	_ = r.WriteText(&b)
+	return b.String()
+}
+
+// MarshalJSON renders the report machine-readably for -o exports.
+func (r *Report) MarshalJSON() ([]byte, error) {
+	type jsonMetric struct {
+		Tenant    string  `json:"tenant"`
+		Metric    string  `json:"metric"`
+		Unit      string  `json:"unit"`
+		Recorded  float64 `json:"recorded"`
+		Simulated float64 `json:"simulated"`
+		AbsErr    float64 `json:"abs_err"`
+		RelErr    float64 `json:"rel_err"`
+		Tol       float64 `json:"tol"`
+		Pass      bool    `json:"pass"`
+	}
+	doc := struct {
+		Metrics []jsonMetric `json:"metrics"`
+		Failed  int          `json:"failed"`
+		Passed  bool         `json:"passed"`
+	}{Failed: r.Failed, Passed: r.Passed()}
+	for _, m := range r.Metrics {
+		rel := m.RelErr
+		if math.IsInf(rel, 0) {
+			rel = -1
+		}
+		doc.Metrics = append(doc.Metrics, jsonMetric{
+			Tenant: m.Tenant, Metric: m.Name, Unit: m.Unit,
+			Recorded: m.Recorded, Simulated: m.Simulated,
+			AbsErr: m.AbsErr, RelErr: rel, Tol: m.Tol, Pass: m.Pass,
+		})
+	}
+	return json.Marshal(doc)
+}
+
+// formatValue renders a metric value with its unit at a precision that is
+// stable across platforms (fixed decimal, no scientific notation).
+func formatValue(v float64, unit string) string {
+	switch unit {
+	case "s":
+		return fmt.Sprintf("%.3fms", v*1e3)
+	case "B/s":
+		return fmt.Sprintf("%.3fMB/s", v/1e6)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}

@@ -1,0 +1,191 @@
+package fidelity
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"storagesim/internal/sim"
+	"storagesim/internal/trace"
+	"storagesim/internal/traffic"
+)
+
+// TestAuditBands pins the pass/fail decision of one metric against its
+// relative bound and absolute floor — the core of the whole harness.
+func TestAuditBands(t *testing.T) {
+	cases := []struct {
+		name                string
+		recorded, simulated float64
+		relTol, absTol      float64
+		wantRel             float64
+		wantPass            bool
+	}{
+		{"exact match", 100, 100, 0.02, 0, 0, true},
+		{"inside rel band", 100, 101.9, 0.02, 0, 0.019, true},
+		{"at rel band", 100, 102, 0.02, 0, 0.02, true},
+		{"outside rel band", 100, 103, 0.02, 0, 0.03, false},
+		{"abs floor saves tiny values", 1e-6, 2e-6, 0.02, 1e-4, 1, true},
+		{"abs floor exceeded", 1e-6, 2e-3, 0.02, 1e-4, 1999, false},
+		{"both zero", 0, 0, 0.02, 0, 0, true},
+		{"recorded zero", 0, 5, 0.02, 0, math.Inf(1), false},
+		{"recorded zero but abs ok", 0, 5, 0.02, 10, math.Inf(1), true},
+		{"negative error symmetric", 100, 97, 0.02, 0, 0.03, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var r Report
+			r.audit("t", "m", "u", tc.recorded, tc.simulated, tc.relTol, tc.absTol)
+			m := r.Metrics[0]
+			if math.Abs(m.RelErr-tc.wantRel) > 1e-12 && !(math.IsInf(tc.wantRel, 1) && math.IsInf(m.RelErr, 1)) {
+				t.Errorf("RelErr = %g, want %g", m.RelErr, tc.wantRel)
+			}
+			if m.Pass != tc.wantPass {
+				t.Errorf("Pass = %v, want %v", m.Pass, tc.wantPass)
+			}
+			if gotFailed := r.Failed; gotFailed != b2i(!tc.wantPass) {
+				t.Errorf("Failed = %d, want %d", gotFailed, b2i(!tc.wantPass))
+			}
+		})
+	}
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func TestToleranceDefaults(t *testing.T) {
+	d := Tolerance{}.withDefaults()
+	if d.LatencyRel != 0.02 || d.LatencyAbs != 100*sim.Microsecond || d.GoodputRel != 0.05 || d.CountRel != 0 {
+		t.Errorf("unexpected defaults: %+v", d)
+	}
+	custom := Tolerance{LatencyRel: 0.5, LatencyAbs: sim.Millisecond, GoodputRel: 0.3, CountRel: 0.1}
+	if got := custom.withDefaults(); got != custom {
+		t.Errorf("withDefaults overwrote explicit values: %+v", got)
+	}
+}
+
+// fixtureTrace builds a two-tenant trace with known latencies and sizes.
+func fixtureTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	var events []trace.Event
+	for i := 0; i < 100; i++ {
+		events = append(events, trace.Event{
+			At:      sim.Time(i) * sim.Time(sim.Millisecond),
+			Tenant:  "w",
+			Op:      trace.OpWrite,
+			Bytes:   1 << 20,
+			Latency: 5 * sim.Millisecond,
+		})
+		events = append(events, trace.Event{
+			At:      sim.Time(i) * sim.Time(sim.Millisecond),
+			Tenant:  "m",
+			Op:      trace.OpMeta,
+			Latency: 2 * sim.Millisecond,
+		})
+	}
+	tr, err := trace.Normalize(events)
+	if err != nil {
+		t.Fatalf("Normalize: %v", err)
+	}
+	return tr
+}
+
+func TestRecorded(t *testing.T) {
+	tr := fixtureTrace(t)
+	recs := Recorded(tr, 0)
+	if len(recs) != 2 {
+		t.Fatalf("got %d tenant records, want 2", len(recs))
+	}
+	// Sorted by name: m before w.
+	m, w := recs[0], recs[1]
+	if m.Name != "m" || w.Name != "w" {
+		t.Fatalf("order = %q, %q; want m, w", m.Name, w.Name)
+	}
+	if w.Completed != 100 || w.Bytes != 100<<20 {
+		t.Errorf("w: completed=%d bytes=%d", w.Completed, w.Bytes)
+	}
+	if m.Completed != 100 || m.Bytes != 0 {
+		t.Errorf("m: completed=%d bytes=%d", m.Completed, m.Bytes)
+	}
+	if !w.HasLatencies || !m.HasLatencies {
+		t.Errorf("HasLatencies: w=%v m=%v", w.HasLatencies, m.HasLatencies)
+	}
+	// All w latencies are 5ms, so every percentile estimate must sit
+	// within the sketch's relative error of 5ms.
+	for _, p := range []sim.Duration{w.P50, w.P95, w.P99} {
+		rel := math.Abs(p.Seconds()-0.005) / 0.005
+		if rel > 0.02 {
+			t.Errorf("w percentile %v off 5ms by %.1f%%", p, 100*rel)
+		}
+	}
+	// Makespan: first issue t=0, last completion 99ms+5ms.
+	if want := 104 * sim.Millisecond; w.Makespan != want {
+		t.Errorf("w makespan = %v, want %v", w.Makespan, want)
+	}
+	if w.GoodputBps() <= 0 {
+		t.Errorf("w goodput = %v, want > 0", w.GoodputBps())
+	}
+	if (&TenantRecord{}).GoodputBps() != 0 {
+		t.Error("empty record goodput must be 0")
+	}
+}
+
+func TestAuditTenantMismatch(t *testing.T) {
+	tr := fixtureTrace(t)
+	// Replay report with only one tenant: count mismatch is a harness
+	// error, not a failing metric.
+	rep := traffic.Report{
+		Duration: 104 * sim.Millisecond,
+		Tenants:  []traffic.TenantReport{{Name: "w"}},
+	}
+	if _, err := Audit(tr, rep, Tolerance{}, 0); err == nil {
+		t.Fatal("Audit accepted a replay missing a tenant")
+	}
+	// Same count, wrong name.
+	rep.Tenants = []traffic.TenantReport{{Name: "w"}, {Name: "ghost"}}
+	if _, err := Audit(tr, rep, Tolerance{}, 0); err == nil {
+		t.Fatal("Audit accepted a replay with a renamed tenant")
+	}
+}
+
+func TestWriteTextDeterministic(t *testing.T) {
+	var r Report
+	r.audit("w", "p50", "s", 0.005, 0.005, 0.02, 1e-4)
+	r.audit("w", "goodput", "B/s", 1e9, 1.2e9, 0.05, 0)
+	r.audit("w", "completed", "requests", 100, 100, 0, 0.5)
+	r.audit("z", "p99", "s", 0, 1, 0.02, 0)
+	first := r.String()
+	if second := r.String(); second != first {
+		t.Fatal("String() not deterministic across calls")
+	}
+	for _, want := range []string{
+		"tenant", "PASS", "FAIL", "inf",
+		"fidelity: 2/4 metrics in band: FAIL",
+	} {
+		if !strings.Contains(first, want) {
+			t.Errorf("report missing %q:\n%s", want, first)
+		}
+	}
+	if r.Passed() {
+		t.Error("Passed() = true with failing metrics")
+	}
+}
+
+func TestReportJSON(t *testing.T) {
+	var r Report
+	r.audit("w", "p50", "s", 0.005, 0.005, 0.02, 1e-4)
+	r.audit("z", "p99", "s", 0, 1, 0.02, 0) // +Inf RelErr must marshal
+	b, err := r.MarshalJSON()
+	if err != nil {
+		t.Fatalf("MarshalJSON: %v", err)
+	}
+	s := string(b)
+	for _, want := range []string{`"passed":false`, `"failed":1`, `"rel_err":-1`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("JSON missing %q: %s", want, s)
+		}
+	}
+}

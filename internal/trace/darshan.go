@@ -1,0 +1,154 @@
+// Darshan/DFTracer-style HPC span-log ingestion. HPC I/O recordings come
+// as per-operation span logs, not request streams: Darshan's DXT module
+// dumps one line per POSIX/MPI-IO segment with rank, direction, offset,
+// length and start/end seconds, and DFTracer emits Chrome trace-event JSON
+// (the format this package already writes). Both reduce to the common
+// Event schema: one event per recorded I/O span, issue time = span start,
+// recorded latency = span duration.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"storagesim/internal/sim"
+)
+
+// DefaultHPCTenant is the traffic class assigned to span logs that record
+// no tenant of their own (a Darshan log covers exactly one job).
+const DefaultHPCTenant = "hpc"
+
+// ParseDXT parses a Darshan DXT text dump (the output of
+// darshan-dxt-parser) into events. Recognized record lines carry eight
+// fields:
+//
+//	# DXT, file_id: 16592106915301738621, file_name: /p/lustre/ior.data
+//	X_POSIX	0	write	0	0	1048576	0.0013	0.0130
+//
+// i.e. module, rank, read|write, segment, offset, length, start(s),
+// end(s). "# DXT, file_name:" headers set the file attributed to the
+// records that follow; other comment lines and blank lines are skipped.
+// All events are assigned the given tenant (DefaultHPCTenant when empty).
+func ParseDXT(r io.Reader, tenant string) ([]Event, error) {
+	if tenant == "" {
+		tenant = DefaultHPCTenant
+	}
+	var events []Event
+	file := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			if name, ok := dxtFileName(text); ok {
+				file = name
+			}
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 8 {
+			return nil, fmt.Errorf("trace: dxt line %d: want 8 fields (module rank op segment offset length start end), got %d", line, len(fields))
+		}
+		rank, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("trace: dxt line %d: rank: %v", line, err)
+		}
+		var op Op
+		switch strings.ToLower(fields[2]) {
+		case "write":
+			op = OpWrite
+		case "read":
+			op = OpRead
+		default:
+			return nil, fmt.Errorf("trace: dxt line %d: op %q (want read or write)", line, fields[2])
+		}
+		length, err := strconv.ParseInt(fields[5], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: dxt line %d: length: %v", line, err)
+		}
+		start, err := strconv.ParseFloat(fields[6], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: dxt line %d: start: %v", line, err)
+		}
+		end, err := strconv.ParseFloat(fields[7], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: dxt line %d: end: %v", line, err)
+		}
+		if end < start {
+			return nil, fmt.Errorf("trace: dxt line %d: span ends (%.6fs) before it starts (%.6fs)", line, end, start)
+		}
+		// A DXT record is one segment, i.e. a single operation: the op size
+		// is the payload itself, and replay must not re-chunk it. Start and
+		// end are rounded to whole nanoseconds independently before
+		// subtracting, so the latency is exactly their difference.
+		startNs := sim.Time(math.Round(start * 1e9))
+		endNs := sim.Time(math.Round(end * 1e9))
+		events = append(events, Event{
+			At:      startNs,
+			Tenant:  tenant,
+			Op:      op,
+			Bytes:   length,
+			IO:      length,
+			Latency: endNs.Sub(startNs),
+			Rank:    rank,
+			File:    file,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: dxt: %v", err)
+	}
+	return events, nil
+}
+
+// dxtFileName extracts the file_name from a "# DXT, ..." header line.
+func dxtFileName(line string) (string, bool) {
+	const key = "file_name:"
+	i := strings.Index(line, key)
+	if i < 0 {
+		return "", false
+	}
+	name := strings.TrimSpace(line[i+len(key):])
+	if j := strings.IndexByte(name, ','); j >= 0 {
+		name = strings.TrimSpace(name[:j])
+	}
+	return name, name != ""
+}
+
+// EventsFromSpans converts recorded I/O spans (a DFTracer-style Chrome
+// trace, or this package's own Recorder output) into ingestion events:
+// read and write spans become events at their start time with the span
+// duration as recorded latency; compute spans carry no I/O and are
+// dropped.
+func EventsFromSpans(spans []Span, tenant string) []Event {
+	if tenant == "" {
+		tenant = DefaultHPCTenant
+	}
+	events := make([]Event, 0, len(spans))
+	for _, s := range spans {
+		if s.Kind == Compute {
+			continue
+		}
+		op := OpRead
+		if s.Kind == Write {
+			op = OpWrite
+		}
+		events = append(events, Event{
+			At:      s.Start,
+			Tenant:  tenant,
+			Op:      op,
+			Bytes:   s.Bytes,
+			Latency: s.Duration(),
+			Rank:    s.Rank,
+		})
+	}
+	return events
+}

@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+)
+
+// The trace parsers sit on the untrusted boundary of the pipeline: they
+// eat whatever a recording system produced. Both fuzzers pin the same
+// contract as FuzzTenantSpec and FuzzSchedule do for their parsers — no
+// panic on any input, and every stream the parser and Normalize both
+// accept must survive a write/re-parse/re-normalize round trip event for
+// event (the recorder emits through the same writers, so a lossy codec
+// would silently corrupt every recorded fixture).
+
+// roundTrip re-encodes an accepted trace and asserts re-ingestion
+// reproduces it exactly.
+func roundTrip(t *testing.T, tr *Trace,
+	write func(io.Writer, []Event) error, parse func([]byte) ([]Event, error)) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := write(&buf, tr.Events); err != nil {
+		t.Fatalf("accepted trace does not encode: %v", err)
+	}
+	back, err := parse(buf.Bytes())
+	if err != nil {
+		t.Fatalf("encoded trace does not re-parse: %v\n%s", err, buf.String())
+	}
+	tr2, err := Normalize(back)
+	if err != nil {
+		t.Fatalf("re-parsed trace does not re-normalize: %v", err)
+	}
+	if !reflect.DeepEqual(tr2.Events, tr.Events) {
+		t.Fatalf("round trip changed events:\n%+v\nwant:\n%+v", tr2.Events, tr.Events)
+	}
+}
+
+func FuzzParseTraceCSV(f *testing.F) {
+	for _, seed := range []string{
+		"ts,tenant,op,bytes,io,latency,rank,file,id\n0,ml,rand-read,1m,128k,12ms,3,/data/f1,r1\n",
+		"ts,tenant,op,bytes\n0,a,read,4k\n1.5,a,write,1m\n",
+		"ts,tenant,op\n0,m,meta\n",
+		"ts,tenant,op,latency\n0.25,A Team,read,5ms\n",        // needs bytes: rejected later
+		"ts,tenant,op,bytes\n-1,a,read,4k\n",                  // negative ts: rejected later
+		"ts,tenant,op,bytes,id\n0,a,read,1,x\n1,a,read,1,x\n", // dup id
+		"ts,tenant,op,nope\n",
+		"ts,tenant\n",
+		"\"ts\n",
+		"",
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		events, err := ParseCSV(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		tr, err := Normalize(events)
+		if err != nil {
+			return
+		}
+		roundTrip(t, tr, WriteCSV, func(b []byte) ([]Event, error) { return ParseCSV(bytes.NewReader(b)) })
+	})
+}
+
+func FuzzParseTraceJSONL(f *testing.F) {
+	for _, seed := range []string{
+		`{"ts":"1.5s","tenant":"ml","op":"rand-read","bytes":"1m","io":"128k","latency":"12ms","rank":3,"file":"/f","id":"r1"}` + "\n",
+		`{"ts":"0","tenant":"a","op":"read","bytes":4096}` + "\n" + `{"ts":"1s","tenant":"a","op":"write","bytes":1}` + "\n",
+		`{"ts":"0","tenant":"m","op":"meta"}` + "\n",
+		`{"ts":"0","tenant":"a","op":"read","bytes":1,"rank":-1}` + "\n",
+		`{"ts":"0","tenant":"a","op":"read","bytes":1,"unknown":true}` + "\n",
+		`{"ts":"0","tenant":"a","op":"read","bytes":1}{"ts":"0"}` + "\n",
+		`{}`,
+		`[]`,
+		"not json\n",
+		"",
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		events, err := ParseJSONL(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		tr, err := Normalize(events)
+		if err != nil {
+			return
+		}
+		roundTrip(t, tr, WriteJSONL, func(b []byte) ([]Event, error) { return ParseJSONL(bytes.NewReader(b)) })
+	})
+}

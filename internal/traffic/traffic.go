@@ -7,6 +7,7 @@ import (
 	"storagesim/internal/fsapi"
 	"storagesim/internal/sim"
 	"storagesim/internal/stats"
+	"storagesim/internal/trace"
 )
 
 // Config parameterizes one traffic run.
@@ -30,6 +31,18 @@ type Config struct {
 	// tests. Off by default: the whole point of the sketch is not keeping
 	// millions of float64s.
 	KeepLatencies bool
+	// Observer, when set, receives one trace event per completed request
+	// (issue time, tenant, op, bytes, measured latency, node, path) — the
+	// recording side of the trace pipeline: write the stream out with
+	// trace.WriteJSONL and any run becomes a replayable, auditable trace.
+	Observer func(trace.Event)
+	// Drain keeps the simulation running after the generation window
+	// closes until every admitted request completes, instead of abandoning
+	// the in-flight tail. A recording meant for fidelity audits must drain:
+	// requests the window cut off contended for bandwidth in the original
+	// run but would be missing from the recorded stream, so an undrained
+	// recording replays against less load than it was measured under.
+	Drain bool
 }
 
 // TenantReport is the per-tenant outcome of a run.
@@ -44,6 +57,11 @@ type TenantReport struct {
 	// DeliveredBytes integrates the tenant's fabric traffic (tagged flows),
 	// including partial progress of still-running requests.
 	DeliveredBytes float64
+	// PayloadBytes sums the request payload of completed requests — the
+	// application-visible delivered data, the quantity recorded traces
+	// count and fidelity audits compare (fabric bytes can include
+	// replication and read-amplification the recording never saw).
+	PayloadBytes float64
 	// P50/P95/P99 are sketch-estimated completion-latency percentiles.
 	P50, P95, P99 sim.Duration
 	// SLOP99 echoes the tenant's target; SLOAttainment is the fraction of
@@ -89,9 +107,11 @@ type tenantState struct {
 	complete uint64
 	inflight int
 	capacity int
+	payload  float64
 	sketch   *stats.Sketch
 	lats     []float64
 	keep     bool
+	obs      func(trace.Event)
 }
 
 // reqFiles is the rotating file-set size per tenant×shard: requests cycle
@@ -138,6 +158,7 @@ func Run(env *sim.Env, fab *sim.Fabric, nodes int, mount func(tenant string, nod
 			capacity: t.MaxInflight,
 			sketch:   stats.NewSketch(cfg.SketchAlpha),
 			keep:     cfg.KeepLatencies,
+			obs:      cfg.Observer,
 		}
 		states[ti] = st
 		shardRate := t.AggregateRate() * scale / float64(nodes)
@@ -152,18 +173,22 @@ func Run(env *sim.Env, fab *sim.Fabric, nodes int, mount func(tenant string, nod
 	}
 
 	env.RunUntil(end)
+	if cfg.Drain {
+		env.Run()
+	}
 
 	rep := Report{Duration: cfg.Duration}
 	for _, st := range states {
 		tr := TenantReport{
-			Name:        st.spec.Name,
-			Offered:     st.offered,
-			Shed:        st.shed,
-			Completed:   st.complete,
-			InFlightEnd: st.inflight,
-			SLOP99:      st.spec.SLOP99,
-			Sketch:      st.sketch,
-			Latencies:   st.lats,
+			Name:         st.spec.Name,
+			Offered:      st.offered,
+			Shed:         st.shed,
+			Completed:    st.complete,
+			InFlightEnd:  st.inflight,
+			PayloadBytes: st.payload,
+			SLOP99:       st.spec.SLOP99,
+			Sketch:       st.sketch,
+			Latencies:    st.lats,
 		}
 		if fab != nil {
 			tr.DeliveredBytes = fab.TagBytes(st.spec.Name)
@@ -219,14 +244,37 @@ func launchShard(env *sim.Env, st *tenantState, cl fsapi.Client, gen *arrivalGen
 				serveRequest(rp, cl, st.spec, path)
 				st.inflight--
 				st.complete++
-				lat := rp.Now().Sub(start).Seconds()
-				st.sketch.Add(lat)
+				st.payload += float64(st.spec.RequestBytes)
+				d := rp.Now().Sub(start)
+				st.sketch.Add(d.Seconds())
 				if st.keep {
-					st.lats = append(st.lats, lat)
+					st.lats = append(st.lats, d.Seconds())
+				}
+				if st.obs != nil {
+					st.obs(trace.Event{
+						At:      start,
+						Tenant:  st.spec.Name,
+						Op:      workloadOp(st.spec.Workload),
+						Bytes:   st.spec.RequestBytes,
+						IO:      ioBytesOf(st.spec),
+						Latency: d,
+						Rank:    node,
+						File:    path,
+					})
 				}
 			})
 		}
 	})
+}
+
+// ioBytesOf is the per-op transfer size a recording should carry for a
+// tenant: its configured IOBytes for data workloads, 0 for metadata (no
+// data moves, so there is no op size).
+func ioBytesOf(t *Tenant) int64 {
+	if t.Workload == Metadata {
+		return 0
+	}
+	return t.IOBytes
 }
 
 // serveRequest performs one request's I/O on the tenant's mount.

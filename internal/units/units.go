@@ -111,6 +111,11 @@ func ParseDuration(s string) (time.Duration, error) {
 	if t == "" {
 		return 0, fmt.Errorf("units: empty duration")
 	}
+	// A sign check on the parsed value misses negative zero ("-0", "-0s"):
+	// IEEE -0.0 < 0 is false. Reject the minus itself.
+	if strings.HasPrefix(t, "-") {
+		return 0, fmt.Errorf("units: negative duration %q", s)
+	}
 	if v, err := strconv.ParseFloat(t, 64); err == nil {
 		// ParseFloat accepts "NaN" and "Inf"; reject them and anything that
 		// overflows an int64 nanosecond count before converting.

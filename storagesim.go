@@ -38,6 +38,7 @@ import (
 	"storagesim/internal/dlio"
 	"storagesim/internal/experiments"
 	"storagesim/internal/faults"
+	"storagesim/internal/fidelity"
 	"storagesim/internal/fsapi"
 	"storagesim/internal/gpfs"
 	"storagesim/internal/ior"
@@ -363,6 +364,68 @@ func ReplayTrace(env *Env, mounts []Client, spans []TraceSpan, cfg ReplayConfig,
 
 // TraceSpan is one recorded interval.
 type TraceSpan = trace.Span
+
+// Production trace ingestion and fidelity audits (see internal/trace,
+// internal/fidelity and cmd/tracereplay).
+type (
+	// TraceEvent is one recorded request in the common ingestion schema.
+	TraceEvent = trace.Event
+	// IngestedTrace is a normalized recorded request stream: validated,
+	// sorted by issue time, rebased to t=0.
+	IngestedTrace = trace.Trace
+	// TraceFormat names a trace encoding (CSV, JSONL, DXT, Chrome).
+	TraceFormat = trace.Format
+	// TraceReplayConfig parameterizes an open-loop replay of a recorded
+	// stream against a mounted backend.
+	TraceReplayConfig = traffic.TraceConfig
+	// FidelityTolerance bounds acceptable sim-vs-recording error per
+	// metric class.
+	FidelityTolerance = fidelity.Tolerance
+	// FidelityMetric is one audited metric with its error band.
+	FidelityMetric = fidelity.Metric
+	// FidelityReport is the audit outcome: per-metric error bands and an
+	// overall verdict.
+	FidelityReport = fidelity.Report
+	// FidelityAuditOptions parameterizes a fidelity audit.
+	FidelityAuditOptions = experiments.AuditOptions
+)
+
+// Trace encodings.
+const (
+	TraceCSV    = trace.CSV
+	TraceJSONL  = trace.JSONL
+	TraceDXT    = trace.DXT
+	TraceChrome = trace.Chrome
+)
+
+// Trace pipeline entry points.
+var (
+	// ParseTraceEvents parses recorded traffic in any supported encoding
+	// into raw events; pass them through NormalizeTrace before use.
+	ParseTraceEvents = trace.ParseEvents
+	// DetectTraceFormat guesses the encoding from a file name.
+	DetectTraceFormat = trace.DetectFormat
+	// NormalizeTrace validates, canonicalizes, sorts and rebases raw
+	// events into a replayable trace.
+	NormalizeTrace = trace.Normalize
+	// WriteTraceCSV and WriteTraceJSONL render events in the canonical
+	// forms the parsers read back.
+	WriteTraceCSV   = trace.WriteCSV
+	WriteTraceJSONL = trace.WriteJSONL
+	// SpecFromTrace fits a stochastic tenant spec to a recorded stream so
+	// it can ride load scaling, saturation sweeps and sharded replay.
+	SpecFromTrace = traffic.SpecFromTrace
+	// RecordTraffic runs a traffic spec and records its completed request
+	// stream as trace events (the run drains, so the recording is
+	// audit-grade).
+	RecordTraffic = experiments.RecordTraffic
+	// ReplayTraceOn replays a normalized trace open-loop against a
+	// machine+fs testbed at its recorded timestamps.
+	ReplayTraceOn = experiments.ReplayTraceOn
+	// FidelityAudit replays a trace and holds the simulation to the
+	// trace's recorded metrics with per-metric error bands.
+	FidelityAudit = experiments.FidelityAudit
+)
 
 // Paper-figure reproductions (see DESIGN.md's experiment index).
 var (
