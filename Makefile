@@ -10,9 +10,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test race reference-smoke bench-smoke fuzz-smoke chaos-smoke parallel-smoke fidelity-smoke bench test-all
+.PHONY: check vet build test race reference-smoke bench-smoke fuzz-smoke chaos-smoke parallel-smoke fidelity-smoke resilience-smoke bench test-all
 
-check: vet build race reference-smoke bench-smoke fuzz-smoke chaos-smoke parallel-smoke fidelity-smoke
+check: vet build race reference-smoke bench-smoke fuzz-smoke chaos-smoke parallel-smoke fidelity-smoke resilience-smoke
 
 vet:
 	$(GO) vet ./...
@@ -26,7 +26,8 @@ test:
 race:
 	$(GO) test -race ./internal/sim/... ./internal/experiments/... \
 		./internal/faults/... ./internal/vast/... ./internal/repair/... \
-		./internal/traffic/... ./internal/trace/... ./internal/fidelity/...
+		./internal/traffic/... ./internal/trace/... ./internal/fidelity/... \
+		./internal/resilience/...
 	$(GO) test -race -tags simreference ./internal/sim/
 
 # The -tags simreference build swaps the DES kernel's calendar queue for the
@@ -39,7 +40,7 @@ reference-smoke:
 bench-smoke:
 	$(GO) test ./internal/sim/ -run XXX -bench BenchmarkFabricSolver -benchtime=1x
 	$(GO) test . -run XXX -bench 'BenchmarkKernel' -benchtime=1x
-	$(GO) test ./internal/traffic -run XXX -bench BenchmarkTrafficEngine -benchtime=1x
+	$(GO) test ./internal/traffic -run XXX -bench 'BenchmarkTrafficEngine|BenchmarkResilienceOverhead' -benchtime=1x
 
 # Each parser gets $(FUZZTIME) of coverage-guided fuzzing, and the calendar
 # queue is fuzzed differentially against the reference heap. Go allows one
@@ -73,6 +74,20 @@ fidelity-smoke:
 	$(GO) run ./cmd/tracereplay -trace internal/experiments/testdata/fidelity_trace.jsonl \
 		-machine Wombat -fs vast -nodes 2 -audit >/dev/null
 
+# Resilience gate: the retry-storm metastability golden under all three
+# kernel builds (calendar queue, reference heap, forced-sequential groups),
+# the headline-property assertions that pin the metastable contrast, the
+# sharded resilience lockstep (full policy stack byte-identical on 1/2/4
+# executors and under the sequential oracle), and three seeded chaos
+# storms with breakers armed — zero invariant violations: deadline
+# cancellation and breaker shedding must never over-allocate bandwidth or
+# strand a rebuild.
+resilience-smoke:
+	$(GO) test ./internal/experiments -run 'TestGoldenRetryStormQuick|TestRetryStormMetastability|TestResilienceChaos' -count=1
+	$(GO) test -tags simreference ./internal/experiments -run TestGoldenRetryStormQuick -count=1
+	$(GO) test -tags simsequential ./internal/experiments -run TestGoldenRetryStormQuick -count=1
+	$(GO) test -tags simsequential ./internal/traffic -run TestShardedResilienceLockstep -count=1
+
 # Domain-parallel gate: a two-rack chaos storm advanced on two executors
 # under the race detector must produce the byte-identical digest of the
 # one-executor run; the sharded traffic lockstep goldens run under both
@@ -92,9 +107,9 @@ bench:
 	  $(GO) test . -run XXX -bench 'BenchmarkConsistency|BenchmarkFig2a|BenchmarkFig3$$' -benchtime=1x -benchmem ) \
 	| $(GO) run ./cmd/benchjson -baseline BENCH_baseline.json -o BENCH_kernel.json \
 	    -note "post-overhaul kernel numbers; baseline is the pre-overhaul binary-heap scheduler"
-	$(GO) test ./internal/traffic -run XXX -bench BenchmarkTrafficEngine -benchtime=2s -benchmem \
+	$(GO) test ./internal/traffic -run XXX -bench 'BenchmarkTrafficEngine|BenchmarkResilienceOverhead' -benchtime=2s -benchmem \
 	| $(GO) run ./cmd/benchjson -o BENCH_traffic.json \
-	    -note "open-loop traffic engine: cost per generated request (arrival draw, admission, spawn, transfer, sketch)"
+	    -note "open-loop traffic engine: cost per generated request (arrival draw, admission, spawn, transfer, sketch); ResilienceOverhead arms the full policy stack (deadline, retries, hedge, breaker, brownout) on an uncongested rig — the delta vs TrafficEngine is the layer's pure bookkeeping cost"
 	$(GO) test ./internal/traffic -run XXX -bench BenchmarkParallelTraffic -benchtime=2s -benchmem -cpu=1,2,4,8 \
 	| $(GO) run ./cmd/benchjson -keep-cpu -o BENCH_parallel.json \
 	    -note "domain-parallel scaling sweep: 8 racks, executors = GOMAXPROCS (-cpu suffix); results are bit-identical across the sweep, only wall clock moves"

@@ -29,7 +29,7 @@ var (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate (table1, 1, 2a, 2b, 3, 4a, 4b, 5, 6, takeaways, ablations, consistency, suitability, failover, degraded, rebuild, saturation, all)")
+	fig := flag.String("fig", "all", "figure to regenerate (table1, 1, 2a, 2b, 3, 4a, 4b, 5, 6, takeaways, ablations, consistency, suitability, failover, degraded, rebuild, saturation, retrystorm, all)")
 	reps := flag.Int("reps", 1, "repetitions per data point (paper uses 10)")
 	quick := flag.Bool("quick", false, "smaller sweeps")
 	seed := flag.Uint64("seed", 0x5eed, "random seed for contention and shuffles")
@@ -219,6 +219,13 @@ var figures = []figure{
 	{"saturation", func(o storagesim.ExperimentOptions) error {
 		panels, err := storagesim.SaturationSweep(o)
 		return renderPanels(panels, err)
+	}},
+	{"retrystorm", func(o storagesim.ExperimentOptions) error {
+		res, err := storagesim.RetryStormStudy(o)
+		if err != nil {
+			return err
+		}
+		return renderPanels(res.Panels, nil)
 	}},
 }
 

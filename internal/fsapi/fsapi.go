@@ -55,6 +55,21 @@ type Client interface {
 	DropCaches()
 }
 
+// Aborted reports whether the calling process carries a fired cancellation
+// token (sim.Abort) — the abortable-op convention of the client resilience
+// layer. Every Client method is a best-effort cancellation region: a
+// request coordinator attaches a token to the serving process, and
+// implementations check Aborted at their stage boundaries (between RPC,
+// staging, device and migration phases; between the ops of a multi-op
+// stream; after every retry-backoff round) and return early without
+// completing the remaining work. In-flight fabric transfers are cancelled
+// immediately by the kernel (sim.Fabric.Transfer registers the flow on the
+// token), so the dominant blocking state unwinds without waiting for a
+// stage boundary. Work already performed stays performed and stays billed —
+// an aborted request wasted real bandwidth, which is what the retry-storm
+// studies measure. Operations on processes without a token never abort.
+func Aborted(p *sim.Proc) bool { return p.Aborted() }
+
 // FlowTagger is implemented by mounts that can attribute their fabric
 // traffic to a tenant. A tagged mount stamps the tag onto the calling
 // process at the entry of every data-path operation, so all bytes it moves

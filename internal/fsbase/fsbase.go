@@ -134,6 +134,9 @@ func (f *file) WriteAt(p *sim.Proc, off, n int64) {
 	}
 	evicted := c.Cache.Insert(f.ino.ID, off, n, true)
 	for _, ev := range evicted {
+		if p.Aborted() {
+			return // remaining write-back stays dirty in the cache
+		}
 		if ino := c.NS.ByID(ev.File); ino != nil {
 			c.Backend.OpWrite(p, ino, ev.Off, ev.Len)
 		}
@@ -155,12 +158,18 @@ func (f *file) ReadAt(p *sim.Proc, off, n int64) {
 	}
 	_, misses := c.Cache.Lookup(f.ino.ID, off, n)
 	for _, m := range misses {
+		if p.Aborted() {
+			return
+		}
 		mlen := clampToEOF(f.ino, m.Off, m.Len)
 		if mlen <= 0 {
 			continue
 		}
 		c.Backend.OpRead(p, f.ino, m.Off, mlen)
 		c.Cache.Insert(f.ino.ID, m.Off, mlen, false)
+	}
+	if p.Aborted() {
+		return
 	}
 	if ra := c.Cache.ReadaheadRange(f.ino.ID, off, n); ra.Len > 0 {
 		ralen := clampToEOF(f.ino, ra.Off, ra.Len)
@@ -181,6 +190,9 @@ func (f *file) Fsync(p *sim.Proc) {
 	}
 	ranges := c.Cache.FlushFileRanges(f.ino.ID)
 	for _, r := range ranges {
+		if p.Aborted() {
+			return // durability is abandoned with the request
+		}
 		// The kernel coalesces write-back into ranged bursts; push each
 		// contiguous dirty extent as one backend write.
 		c.Backend.OpWrite(p, f.ino, r.Off, clampLen(f.ino, r))

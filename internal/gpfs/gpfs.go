@@ -237,6 +237,9 @@ func (c *client) readPipes() []*sim.Pipe { return c.readPath }
 // StreamWrite implements fsapi.Client: one flow into the RAID pool.
 func (c *client) StreamWrite(p *sim.Proc, path string, a fsapi.Access, ioSize, total int64) {
 	c.core.Stamp(p)
+	if fsapi.Aborted(p) {
+		return
+	}
 	ino := c.sys.ns.Create(path, false)
 	c.sys.ns.Extend(ino, 0, total)
 	c.sys.raid.StreamWrite(p, a, ioSize, float64(total), c.writePipes(), 0)
@@ -248,6 +251,9 @@ func (c *client) StreamWrite(p *sim.Proc, path string, a fsapi.Access, ioSize, t
 // and additionally pay the blocking-request ceiling.
 func (c *client) StreamRead(p *sim.Proc, path string, a fsapi.Access, ioSize, total int64) {
 	c.core.Stamp(p)
+	if fsapi.Aborted(p) {
+		return
+	}
 	s := c.sys
 	if a == fsapi.Sequential {
 		s.fab.Transfer(p, c.memReadPath, float64(total), 0)

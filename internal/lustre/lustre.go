@@ -202,6 +202,9 @@ func (c *client) readPipes() []*sim.Pipe { return c.readPath }
 // single OST.
 func (c *client) StreamWrite(p *sim.Proc, path string, a fsapi.Access, ioSize, total int64) {
 	c.core.Stamp(p)
+	if fsapi.Aborted(p) {
+		return
+	}
 	ino := c.sys.ns.Create(path, false)
 	c.sys.ns.Extend(ino, 0, total)
 	c.sys.pool.StreamWrite(p, a, ioSize, float64(total), c.writePipes(), c.sys.perStreamCapW)
@@ -210,6 +213,9 @@ func (c *client) StreamWrite(p *sim.Proc, path string, a fsapi.Access, ioSize, t
 // StreamRead implements fsapi.Client.
 func (c *client) StreamRead(p *sim.Proc, path string, a fsapi.Access, ioSize, total int64) {
 	c.core.Stamp(p)
+	if fsapi.Aborted(p) {
+		return
+	}
 	s := c.sys
 	capBps := s.perStreamCapR
 	if a == fsapi.Random {

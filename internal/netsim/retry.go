@@ -89,6 +89,11 @@ func retryJitter(flowID uint64, round int, bound sim.Duration) sim.Duration {
 // the same way, truncating the last round to land exactly on the budget.
 // With neither set it retries forever, which in a simulation with a finite
 // fault schedule always terminates.
+//
+// Retry is a cancellation point: a fired abort token on p (the resilience
+// layer's per-request deadline) ends the loop after the current round —
+// the retransmission that was in flight is sunk cost, everything after it
+// is abandoned with the request.
 func (rp RetryPolicy) Retry(p *sim.Proc, flowID uint64, healthy func() bool) (retries int, ok bool) {
 	if !rp.Enabled() {
 		return 0, healthy()
@@ -115,7 +120,7 @@ func (rp RetryPolicy) Retry(p *sim.Proc, flowID uint64, healthy func() bool) (re
 		if healthy() {
 			return retries, true
 		}
-		if exhausted {
+		if exhausted || p.Aborted() {
 			return retries, false
 		}
 		timeout = sim.Duration(float64(timeout) * mult)
@@ -123,4 +128,33 @@ func (rp RetryPolicy) Retry(p *sim.Proc, flowID uint64, healthy func() bool) (re
 			timeout = rp.MaxTimeout
 		}
 	}
+}
+
+// Backoff returns the delay a client pauses before re-attempt number
+// `attempt` (1-based) of one request: Timeout·Multiplier^(attempt-1),
+// capped at MaxTimeout, plus the same deterministic per-round jitter Retry
+// charges. This is the client-resilience half of the policy — Retry blocks
+// through server-side retransmission rounds, Backoff prices the pause
+// between application-level attempts after a deadline miss, so a tenant's
+// `retry_policy` spec block drives both with one parameter set. A disabled
+// policy (or attempt < 1) backs off zero.
+func (rp RetryPolicy) Backoff(flowID uint64, attempt int) sim.Duration {
+	if !rp.Enabled() || attempt < 1 {
+		return 0
+	}
+	mult := rp.Multiplier
+	if mult < 1 {
+		mult = 1
+	}
+	d := rp.Timeout
+	for i := 1; i < attempt; i++ {
+		if rp.MaxTimeout > 0 && d >= rp.MaxTimeout {
+			break
+		}
+		d = sim.Duration(float64(d) * mult)
+	}
+	if rp.MaxTimeout > 0 && d > rp.MaxTimeout {
+		d = rp.MaxTimeout
+	}
+	return d + retryJitter(flowID, attempt, rp.Jitter)
 }

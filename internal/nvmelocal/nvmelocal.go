@@ -208,6 +208,9 @@ func (c *client) SetFlowTag(tag string) { c.core.SetFlowTag(tag) }
 // (write-back throttling).
 func (c *client) StreamWrite(p *sim.Proc, path string, a fsapi.Access, ioSize, total int64) {
 	c.core.Stamp(p)
+	if fsapi.Aborted(p) {
+		return
+	}
 	s := c.sys
 	st := c.node
 	ino := st.ns.Create(path, false)
@@ -223,6 +226,9 @@ func (c *client) StreamWrite(p *sim.Proc, path string, a fsapi.Access, ioSize, t
 	if absorb > 0 {
 		s.fab.Transfer(p, st.memInPath, float64(absorb), 0)
 		st.dirty += absorb
+	}
+	if fsapi.Aborted(p) {
+		return // absorbed pages stay dirty; the device spill is abandoned
 	}
 	if rest := total - absorb; rest > 0 {
 		st.dev.StreamWrite(p, a, ioSize, float64(rest), nil, 0)
@@ -247,6 +253,9 @@ func (st *nodeState) drainDirty(now sim.Time) {
 // own peer).
 func (c *client) StreamRead(p *sim.Proc, path string, a fsapi.Access, ioSize, total int64) {
 	c.core.Stamp(p)
+	if fsapi.Aborted(p) {
+		return
+	}
 	s := c.sys
 	src := s.nodes[s.Peer(c.node.name)]
 	if src == nil {

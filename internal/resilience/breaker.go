@@ -1,0 +1,250 @@
+package resilience
+
+import (
+	"fmt"
+
+	"storagesim/internal/sim"
+)
+
+// BreakerSpec configures one circuit breaker. The classic three-state
+// machine (Nygard, "Release It!"):
+//
+//	Closed ──(Failures consecutive failures)──▶ Open
+//	Open ──(Cooldown elapsed, next arrival)──▶ HalfOpen
+//	HalfOpen ──(Successes probe successes)──▶ Closed
+//	HalfOpen ──(any probe failure)──▶ Open (cooldown restarts)
+//
+// While Open every arrival is shed instantly — the fast-fail that lets a
+// saturated backend drain instead of accumulating doomed work. HalfOpen
+// admits at most Probes concurrent probes so recovery testing cannot
+// itself re-saturate the backend.
+type BreakerSpec struct {
+	// Failures is the consecutive-failure trip threshold; 0 disables the
+	// breaker.
+	Failures int
+	// Cooldown is how long the breaker stays Open before probing.
+	Cooldown sim.Duration
+	// Probes bounds concurrent half-open probes; 0 means 1.
+	Probes int
+	// Successes is the consecutive probe successes required to close
+	// again; 0 means 1.
+	Successes int
+}
+
+// Enabled reports whether the breaker is configured.
+func (bs BreakerSpec) Enabled() bool { return bs.Failures > 0 }
+
+// Validate reports the first problem with the spec.
+func (bs BreakerSpec) Validate() error {
+	switch {
+	case bs.Failures < 0:
+		return fmt.Errorf("resilience: negative breaker failure threshold")
+	case bs.Probes < 0:
+		return fmt.Errorf("resilience: negative breaker probe bound")
+	case bs.Successes < 0:
+		return fmt.Errorf("resilience: negative breaker success threshold")
+	case bs.Cooldown < 0:
+		return fmt.Errorf("resilience: negative breaker cooldown")
+	case bs.Failures > 0 && bs.Cooldown == 0:
+		return fmt.Errorf("resilience: breaker requires a cooldown")
+	}
+	return nil
+}
+
+// BreakerState is the breaker's position in the state machine.
+type BreakerState int
+
+// Breaker states.
+const (
+	StateClosed BreakerState = iota
+	StateOpen
+	StateHalfOpen
+)
+
+// String names the state for reports and goldens.
+func (s BreakerState) String() string {
+	switch s {
+	case StateClosed:
+		return "closed"
+	case StateOpen:
+		return "open"
+	case StateHalfOpen:
+		return "half-open"
+	}
+	return fmt.Sprintf("BreakerState(%d)", int(s))
+}
+
+// BreakerStats counts state transitions for the tenant report.
+type BreakerStats struct {
+	Opens     uint64 // Closed/HalfOpen → Open trips
+	HalfOpens uint64 // Open → HalfOpen probe windows
+	Closes    uint64 // HalfOpen → Closed recoveries
+}
+
+// Breaker is one tenant×backend circuit breaker instance. All methods
+// are nil-safe: a nil breaker (tenant without a breaker spec) admits
+// everything and records nothing, so call sites need no branching.
+// Virtual time comes in through the call sites — the breaker holds no
+// reference to the simulation environment.
+type Breaker struct {
+	spec        BreakerSpec
+	state       BreakerState
+	consecFails int      // consecutive failures while Closed
+	openedAt    sim.Time // trip instant of the current Open period
+	probes      int      // probes outstanding while HalfOpen
+	successes   int      // consecutive probe successes while HalfOpen
+	stats       BreakerStats
+}
+
+// NewBreaker returns a Closed breaker for the spec, or nil when the spec
+// is disabled — the nil-safe methods make the disabled case free.
+func NewBreaker(spec BreakerSpec) *Breaker {
+	if !spec.Enabled() {
+		return nil
+	}
+	if spec.Probes <= 0 {
+		spec.Probes = 1
+	}
+	if spec.Successes <= 0 {
+		spec.Successes = 1
+	}
+	return &Breaker{spec: spec}
+}
+
+// State returns the current state (Closed for a nil breaker).
+func (b *Breaker) State() BreakerState {
+	if b == nil {
+		return StateClosed
+	}
+	return b.state
+}
+
+// Stats returns the transition counters (zero for a nil breaker).
+func (b *Breaker) Stats() BreakerStats {
+	if b == nil {
+		return BreakerStats{}
+	}
+	return b.stats
+}
+
+// Allow decides admission for a new request arriving at now. ok=false
+// sheds the request instantly (breaker-shed). probe=true marks the
+// request as a half-open probe — the caller must hand that flag back to
+// exactly one of Success, Failure or Release.
+func (b *Breaker) Allow(now sim.Time) (ok, probe bool) {
+	if b == nil {
+		return true, false
+	}
+	switch b.state {
+	case StateClosed:
+		return true, false
+	case StateOpen:
+		if now.Sub(b.openedAt) < b.spec.Cooldown {
+			return false, false
+		}
+		b.state = StateHalfOpen
+		b.stats.HalfOpens++
+		b.successes = 0
+		b.probes = 1
+		return true, true
+	default: // StateHalfOpen
+		if b.probes >= b.spec.Probes {
+			return false, false
+		}
+		b.probes++
+		return true, true
+	}
+}
+
+// Release returns an admission grant unused — the request was shed by a
+// later admission stage (brownout, inflight cap) and never ran, so it
+// must not count as a probe outcome.
+func (b *Breaker) Release(probe bool) {
+	if b == nil || !probe {
+		return
+	}
+	if b.state == StateHalfOpen && b.probes > 0 {
+		b.probes--
+	}
+}
+
+// Success records a request that completed within its deadline.
+func (b *Breaker) Success(probe bool) {
+	if b == nil {
+		return
+	}
+	b.consecFails = 0
+	if !probe || b.state != StateHalfOpen {
+		return
+	}
+	if b.probes > 0 {
+		b.probes--
+	}
+	b.successes++
+	if b.successes >= b.spec.Successes {
+		b.state = StateClosed
+		b.stats.Closes++
+		b.probes = 0
+		b.successes = 0
+	}
+}
+
+// Failure records a request that terminally failed (retry budget
+// exhausted, or last attempt missed its deadline). A probe failure
+// re-trips the breaker and restarts the cooldown.
+func (b *Breaker) Failure(now sim.Time, probe bool) {
+	if b == nil {
+		return
+	}
+	if probe && b.state == StateHalfOpen {
+		if b.probes > 0 {
+			b.probes--
+		}
+		b.trip(now)
+		return
+	}
+	b.recordMiss(now)
+}
+
+// AttemptMiss records an intermediate deadline miss — an attempt failed
+// but the request will retry, so the request's admission grant stays
+// outstanding. Misses count toward tripping exactly like terminal
+// failures: the trip condition is about backend health, not about what
+// the client does next.
+func (b *Breaker) AttemptMiss(now sim.Time) {
+	if b == nil {
+		return
+	}
+	if b.state == StateHalfOpen {
+		// An intermediate miss on a probe's retry loop does not re-trip;
+		// the probe's terminal Failure will.
+		return
+	}
+	b.recordMiss(now)
+}
+
+// Tripped reports whether the breaker is Open right now — the retry
+// gate: a retry against a tripped breaker is abandoned immediately (the
+// next fresh arrival after cooldown serves as the probe).
+func (b *Breaker) Tripped() bool { return b != nil && b.state == StateOpen }
+
+// recordMiss counts a failure while Closed and trips at the threshold.
+func (b *Breaker) recordMiss(now sim.Time) {
+	if b.state != StateClosed {
+		return
+	}
+	b.consecFails++
+	if b.consecFails >= b.spec.Failures {
+		b.trip(now)
+	}
+}
+
+// trip moves to Open and restarts the cooldown clock.
+func (b *Breaker) trip(now sim.Time) {
+	b.state = StateOpen
+	b.openedAt = now
+	b.stats.Opens++
+	b.consecFails = 0
+	b.probes = 0
+	b.successes = 0
+}

@@ -1,0 +1,139 @@
+package resilience
+
+import (
+	"testing"
+
+	"storagesim/internal/sim"
+)
+
+func at(ms int) sim.Time { return sim.Time(0).Add(sim.Duration(ms) * sim.Millisecond) }
+
+// The full state-machine walk: trip on consecutive failures, shed while
+// open, probe after cooldown with a bounded half-open window, close on
+// probe successes, re-trip on probe failure.
+func TestBreakerStateMachine(t *testing.T) {
+	b := NewBreaker(BreakerSpec{Failures: 3, Cooldown: 100 * sim.Millisecond, Probes: 2, Successes: 2})
+
+	if ok, probe := b.Allow(at(0)); !ok || probe {
+		t.Fatalf("closed breaker: Allow = %v,%v, want true,false", ok, probe)
+	}
+	// Two failures then a success: the consecutive counter must reset.
+	b.Failure(at(1), false)
+	b.Failure(at(2), false)
+	b.Success(false)
+	b.Failure(at(3), false)
+	b.Failure(at(4), false)
+	if b.State() != StateClosed {
+		t.Fatalf("state after interrupted failure run = %v, want closed", b.State())
+	}
+	b.Failure(at(5), false)
+	if b.State() != StateOpen {
+		t.Fatalf("state after 3 consecutive failures = %v, want open", b.State())
+	}
+	if got := b.Stats().Opens; got != 1 {
+		t.Fatalf("Opens = %d, want 1", got)
+	}
+
+	// Open sheds until the cooldown elapses.
+	if ok, _ := b.Allow(at(50)); ok {
+		t.Fatal("open breaker admitted during cooldown")
+	}
+	ok, probe := b.Allow(at(105))
+	if !ok || !probe {
+		t.Fatalf("post-cooldown Allow = %v,%v, want true,true (probe)", ok, probe)
+	}
+	if b.State() != StateHalfOpen {
+		t.Fatalf("state after cooldown admit = %v, want half-open", b.State())
+	}
+	// Second probe slot grants; third is shed; Release frees a slot.
+	if ok, probe := b.Allow(at(106)); !ok || !probe {
+		t.Fatal("second half-open probe slot refused")
+	}
+	if ok, _ := b.Allow(at(107)); ok {
+		t.Fatal("half-open admitted beyond the probe bound")
+	}
+	b.Release(true)
+	if ok, probe := b.Allow(at(108)); !ok || !probe {
+		t.Fatal("released probe slot not reusable")
+	}
+
+	// Two probe successes close the breaker.
+	b.Success(true)
+	if b.State() != StateHalfOpen {
+		t.Fatalf("state after 1/2 probe successes = %v, want half-open", b.State())
+	}
+	b.Success(true)
+	if b.State() != StateClosed {
+		t.Fatalf("state after 2/2 probe successes = %v, want closed", b.State())
+	}
+	st := b.Stats()
+	if st.Opens != 1 || st.HalfOpens != 1 || st.Closes != 1 {
+		t.Fatalf("stats = %+v, want 1/1/1", st)
+	}
+}
+
+// A failed probe re-trips the breaker and restarts the cooldown clock.
+func TestBreakerProbeFailureRetrips(t *testing.T) {
+	b := NewBreaker(BreakerSpec{Failures: 1, Cooldown: 100 * sim.Millisecond})
+	b.Failure(at(0), false)
+	if b.State() != StateOpen {
+		t.Fatal("single-failure breaker did not trip")
+	}
+	if ok, probe := b.Allow(at(150)); !ok || !probe {
+		t.Fatal("cooldown-elapsed Allow refused the probe")
+	}
+	b.Failure(at(160), true)
+	if b.State() != StateOpen {
+		t.Fatalf("state after probe failure = %v, want open", b.State())
+	}
+	// Cooldown restarted at 160: still shedding at 200, probing at 261.
+	if ok, _ := b.Allow(at(200)); ok {
+		t.Fatal("re-tripped breaker admitted before the restarted cooldown")
+	}
+	if ok, probe := b.Allow(at(261)); !ok || !probe {
+		t.Fatal("re-tripped breaker refused the probe after its cooldown")
+	}
+	if got := b.Stats().Opens; got != 2 {
+		t.Fatalf("Opens = %d, want 2", got)
+	}
+}
+
+// Intermediate deadline misses (attempt failed, request retrying) count
+// toward tripping exactly like terminal failures.
+func TestBreakerAttemptMissTrips(t *testing.T) {
+	b := NewBreaker(BreakerSpec{Failures: 3, Cooldown: 100 * sim.Millisecond})
+	b.AttemptMiss(at(0))
+	b.AttemptMiss(at(1))
+	if b.Tripped() {
+		t.Fatal("tripped below the threshold")
+	}
+	b.AttemptMiss(at(2))
+	if !b.Tripped() {
+		t.Fatal("3 attempt misses did not trip")
+	}
+}
+
+// A nil breaker (tenant without a breaker spec) admits everything and
+// never panics — the call sites rely on this to avoid branching.
+func TestBreakerNilSafety(t *testing.T) {
+	var b *Breaker
+	if ok, probe := b.Allow(at(0)); !ok || probe {
+		t.Fatal("nil breaker did not admit plainly")
+	}
+	b.Success(true)
+	b.Failure(at(0), true)
+	b.AttemptMiss(at(0))
+	b.Release(true)
+	if b.Tripped() {
+		t.Fatal("nil breaker reports tripped")
+	}
+	if b.State() != StateClosed {
+		t.Fatal("nil breaker state != closed")
+	}
+	if b.Stats() != (BreakerStats{}) {
+		t.Fatal("nil breaker has stats")
+	}
+	if nb := NewBreaker(BreakerSpec{}); nb != nil {
+		t.Fatal("disabled spec minted a live breaker")
+	}
+}

@@ -1,0 +1,149 @@
+package resilience
+
+import (
+	"storagesim/internal/sim"
+)
+
+// Request is one unit of work the policy layer supervises. Attempt must
+// be re-runnable: retries and hedges invoke it again on a fresh process.
+// Each invocation's process carries a per-attempt sim.Abort token, so
+// everything the attempt does — fabric transfers, retry backoffs, stager
+// waits — unwinds when the attempt loses a hedge race or misses its
+// deadline.
+type Request struct {
+	// FlowID identifies the request for deterministic backoff jitter.
+	FlowID uint64
+	// Attempt performs the operation once on the given process.
+	Attempt func(p *sim.Proc)
+}
+
+// Outcome is what Execute observed for one request.
+type Outcome struct {
+	// OK reports whether some attempt completed within its deadline.
+	OK bool
+	// Retries counts re-attempts after the first (≤ the retry budget).
+	Retries int
+	// Hedges counts speculative second attempts actually launched.
+	Hedges int
+	// HedgeWins counts attempts won by the hedge rather than the primary.
+	HedgeWins int
+	// Elapsed is the request's total residence time, backoffs included.
+	Elapsed sim.Duration
+}
+
+// Execute runs the request under the policy on behalf of p, blocking
+// until the request completes or its budgets are exhausted. The breaker
+// (nil for tenants without one) is consulted as a retry gate and fed
+// intermediate misses; terminal accounting — Success/Failure with the
+// admission-time probe flag — is the caller's, which also owns admission
+// (Allow happened before Execute, so a shed request never gets here).
+//
+// hedgeDelay is the quantile-derived hedge trigger for this request's
+// attempts; 0 disables hedging (cold sketch, or hedging not configured).
+func Execute(p *sim.Proc, pl Policy, r Request, hedgeDelay sim.Duration, br *Breaker) Outcome {
+	start := p.Now()
+	var out Outcome
+	for attempt := 0; ; attempt++ {
+		ok, hedged, hedgeWon := runAttempt(p, pl, r, hedgeDelay)
+		if hedged {
+			out.Hedges++
+		}
+		if hedgeWon {
+			out.HedgeWins++
+		}
+		if ok {
+			out.OK = true
+			break
+		}
+		rp := pl.Retry
+		willRetry := rp.Enabled() && (rp.MaxRetries == 0 || attempt < rp.MaxRetries)
+		var backoff sim.Duration
+		if willRetry {
+			backoff = rp.Backoff(r.FlowID, attempt+1)
+			if rp.MaxElapsed > 0 && p.Now().Sub(start)+backoff >= rp.MaxElapsed {
+				// The next attempt could not finish inside the residence
+				// budget; give up now rather than burn a doomed attempt.
+				willRetry = false
+			}
+		}
+		if willRetry && br.Tripped() {
+			// Fast-fail: the backend is known-bad, stop feeding it.
+			willRetry = false
+		}
+		if !willRetry {
+			break
+		}
+		br.AttemptMiss(p.Now())
+		out.Retries++
+		p.Sleep(backoff)
+	}
+	out.Elapsed = p.Now().Sub(start)
+	return out
+}
+
+// runAttempt races one attempt (and, after hedgeDelay, an optional
+// speculative twin) against the per-attempt deadline. It returns whether
+// the attempt completed in time, whether a hedge launched, and whether
+// the hedge won the race.
+//
+// Coordination is a single one-shot done Event: sim processes must never
+// wait on two Events at once, so the hedge trigger and the deadline ride
+// timer callbacks (env.After) that are cancelled — per the EventHandle
+// contract — as soon as the race resolves. Exactly-one-completion is
+// enforced by the done.Fired()/abort guards in the attempt body: a loser
+// that finishes after the race (its abort fired, or done already did)
+// returns without touching the shared state, so a request can never
+// double-complete.
+func runAttempt(p *sim.Proc, pl Policy, r Request, hedgeDelay sim.Duration) (ok, hedged, hedgeWon bool) {
+	env := p.Env()
+	done := sim.NewEvent(env)
+	aborts := [2]*sim.Abort{sim.NewAbort(), sim.NewAbort()}
+	winner := -1
+	launch := func(idx int) {
+		env.Go("resilience/attempt", func(ap *sim.Proc) {
+			ap.SetAbort(aborts[idx])
+			r.Attempt(ap)
+			if done.Fired() || aborts[idx].Fired() {
+				return // lost the race; work already unwound or sunk
+			}
+			winner = idx
+			done.Fire()
+		})
+	}
+	launch(0)
+	var hedgeTimer, deadlineTimer *sim.EventHandle
+	if hedgeDelay > 0 {
+		hedgeTimer = env.After(hedgeDelay, func() {
+			if done.Fired() {
+				return
+			}
+			hedged = true
+			launch(1)
+		})
+	}
+	if pl.Deadline > 0 {
+		deadlineTimer = env.After(pl.Deadline, func() {
+			if done.Fired() {
+				return
+			}
+			// Miss: cancel both attempts' in-flight work and resolve the
+			// race as a loss. Work already performed stays billed.
+			aborts[0].Fire()
+			aborts[1].Fire()
+			done.Fire()
+		})
+	}
+	done.Wait(p)
+	hedgeTimer.Cancel()
+	deadlineTimer.Cancel()
+	switch winner {
+	case -1:
+		return false, hedged, false
+	case 0:
+		aborts[1].Fire() // cancel the hedge, if any is still running
+		return true, hedged, false
+	default:
+		aborts[0].Fire() // hedge won; cancel the primary
+		return true, hedged, true
+	}
+}

@@ -1,0 +1,204 @@
+// Package resilience is the client-side request-policy layer of the
+// traffic engine: every generated request flows through one Policy that
+// composes, in order, admission (circuit breaker, then brownout, then the
+// per-tenant inflight cap), hedging (a speculative second attempt after a
+// quantile-derived delay), a per-attempt deadline with true in-flight
+// cancellation (sim.Abort), and a bounded retry budget with jittered
+// exponential backoff between attempts.
+//
+// The composition order is deliberate and matches production RPC stacks
+// (gRPC retry design, Google SRE "addressing cascading failures"):
+// admission is checked once per request — a retry of an admitted request
+// never re-queues behind admission, because re-queuing converts retries
+// into new offered load and hides amplification — while the deadline is
+// per attempt, so a request's worst-case residence is bounded by
+// (1+budget)·(deadline+backoff). With a budget of B a single client
+// multiplies offered work by at most 1+B; unbounded retries (B=0 in
+// RetryPolicy terms, the "hard mount" default) are exactly the
+// metastable-failure configuration the retry-storm study demonstrates.
+//
+// Everything here is pure policy arithmetic over virtual time: no wall
+// clock, no math/rand — jitter derives from (flow id, attempt) via the
+// shared SplitMix64 finalizer, so a fixed seed reproduces every retry
+// timeline byte-for-byte across kernel builds.
+package resilience
+
+import (
+	"fmt"
+	"math"
+
+	"storagesim/internal/netsim"
+	"storagesim/internal/sim"
+	"storagesim/internal/stats"
+)
+
+// Policy is the per-tenant resilience configuration. The zero value
+// disables every mechanism and the engine takes the legacy fast path.
+// Policy is a comparable value type (no slices/maps/pointers) so tenant
+// specs that embed it keep working with struct equality.
+type Policy struct {
+	// Deadline bounds one attempt; on expiry the attempt's in-flight work
+	// is cancelled (sim.Abort) and the attempt counts as a miss. 0 means
+	// no deadline — attempts always run to completion.
+	Deadline sim.Duration
+	// Retry prices the pause between attempts after a deadline miss
+	// (netsim.RetryPolicy.Backoff) and bounds the attempt budget:
+	// MaxRetries re-attempts after the first (0 = retry forever — the
+	// naive configuration), MaxElapsed as a total-residence cap.
+	Retry netsim.RetryPolicy
+	// Hedge enables tail-latency hedging of each attempt.
+	Hedge Hedge
+	// Breaker configures the per-tenant×backend circuit breaker.
+	Breaker BreakerSpec
+}
+
+// Enabled reports whether any mechanism is configured — false routes the
+// request down the engine's legacy path, byte-identical to before this
+// layer existed.
+func (pl Policy) Enabled() bool {
+	return pl.Deadline > 0 || pl.Retry.Enabled() || pl.Hedge.Enabled() || pl.Breaker.Enabled()
+}
+
+// Validate reports the first problem with the policy.
+func (pl Policy) Validate() error {
+	if pl.Deadline < 0 {
+		return fmt.Errorf("resilience: negative deadline")
+	}
+	if err := pl.Retry.Validate(); err != nil {
+		return err
+	}
+	if pl.Retry.Enabled() && pl.Deadline == 0 {
+		return fmt.Errorf("resilience: retry_policy requires a deadline (an attempt can only fail by missing one)")
+	}
+	if pl.Breaker.Enabled() && pl.Deadline == 0 {
+		return fmt.Errorf("resilience: breaker requires a deadline (failures are deadline misses)")
+	}
+	if err := pl.Hedge.Validate(); err != nil {
+		return err
+	}
+	return pl.Breaker.Validate()
+}
+
+// Hedge configures speculative re-execution against tail latency ("The
+// Tail at Scale"): once an attempt has been outstanding for the tenant's
+// observed Quantile latency, a second identical attempt launches; the
+// first completion wins and the loser's in-flight work is cancelled.
+type Hedge struct {
+	// Quantile of the tenant's completed-latency sketch that sets the
+	// hedge delay (e.g. 0.95). 0 disables hedging.
+	Quantile float64
+	// MinSamples gates hedging until the sketch has seen that many
+	// completions (the quantile is noise before then); 0 means 32.
+	MinSamples int
+	// Floor clamps the minimum hedge delay, so a tenant with
+	// microsecond-fast completions does not hedge every request.
+	Floor sim.Duration
+}
+
+// Enabled reports whether hedging is configured.
+func (h Hedge) Enabled() bool { return h.Quantile > 0 }
+
+// Validate reports the first problem with the hedge spec.
+func (h Hedge) Validate() error {
+	switch {
+	case h.Quantile < 0 || h.Quantile >= 1:
+		if h.Quantile != 0 {
+			return fmt.Errorf("resilience: hedge quantile %v outside (0,1)", h.Quantile)
+		}
+	case h.MinSamples < 0:
+		return fmt.Errorf("resilience: negative hedge min_samples")
+	case h.Floor < 0:
+		return fmt.Errorf("resilience: negative hedge floor")
+	}
+	return nil
+}
+
+// Delay derives the hedge delay for the next request from the tenant's
+// completed-latency sketch (values in seconds, as the traffic engine
+// records them). It returns 0 — no hedge — until MinSamples completions
+// have been observed, then the Quantile latency clamped below by Floor.
+func (h Hedge) Delay(sk *stats.Sketch) sim.Duration {
+	if !h.Enabled() || sk == nil {
+		return 0
+	}
+	min := h.MinSamples
+	if min <= 0 {
+		min = 32
+	}
+	if sk.Count() < uint64(min) {
+		return 0
+	}
+	q := sk.Quantile(h.Quantile * 100) // sketch quantiles are 0..100
+
+	if math.IsNaN(q) || q <= 0 {
+		return 0
+	}
+	d := sim.Duration(q * float64(sim.Second))
+	if d < h.Floor {
+		d = h.Floor
+	}
+	return d
+}
+
+// Brownout is the engine-wide graceful-degradation admission policy that
+// replaces a binary inflight cap: the engine tracks total in-flight
+// requests against Capacity, and a priority-k arrival is shed once the
+// total reaches Capacity·Tiers[k] — so low-priority traffic browns out
+// first and high-priority traffic keeps its headroom until true
+// saturation. Priority 0 is the most important tier.
+type Brownout struct {
+	// Capacity is the engine-wide concurrent-request budget; 0 disables
+	// brownout entirely.
+	Capacity int
+	// Tiers maps priority k to the fraction of Capacity at which that
+	// priority sheds; priorities beyond the last entry use the last
+	// entry. Empty means every priority sheds only at full Capacity.
+	// Entries must lie in (0,1] and be non-increasing (lower priority
+	// never outlasts higher).
+	Tiers []float64
+}
+
+// Enabled reports whether brownout shedding is configured.
+func (b Brownout) Enabled() bool { return b.Capacity > 0 }
+
+// Validate reports the first problem with the brownout spec.
+func (b Brownout) Validate() error {
+	if b.Capacity < 0 {
+		return fmt.Errorf("resilience: negative brownout capacity")
+	}
+	prev := math.Inf(1)
+	for i, t := range b.Tiers {
+		if t <= 0 || t > 1 {
+			return fmt.Errorf("resilience: brownout tier %d = %v outside (0,1]", i, t)
+		}
+		if t > prev {
+			return fmt.Errorf("resilience: brownout tiers must be non-increasing (tier %d)", i)
+		}
+		prev = t
+	}
+	return nil
+}
+
+// Threshold returns the in-flight level at or above which a priority-k
+// arrival is shed. Negative priorities clamp to the first tier,
+// priorities past the end to the last.
+func (b Brownout) Threshold(priority int) int {
+	if len(b.Tiers) == 0 {
+		return b.Capacity
+	}
+	k := priority
+	if k < 0 {
+		k = 0
+	}
+	if k >= len(b.Tiers) {
+		k = len(b.Tiers) - 1
+	}
+	t := int(float64(b.Capacity)*b.Tiers[k] + 0.5)
+	if t > b.Capacity {
+		t = b.Capacity
+	}
+	if t < 1 {
+		t = 1
+	}
+	return t
+}

@@ -1,0 +1,101 @@
+package sim
+
+// Abort is a request-scoped cancellation token: the kernel half of the
+// client resilience layer's deadline/hedging support. A coordinator (a
+// deadline timer callback, a hedge arbiter) fires the token once; every
+// process carrying it observes the firing at its next cancellation point
+// and unwinds, and any in-flight fabric transfer registered on the token is
+// removed from its flow class immediately, returning its bandwidth to the
+// fair-share pool.
+//
+// Tokens are single-threaded simulation state like everything else in the
+// kernel: they are created, fired and polled only from simulated processes
+// and scheduler callbacks, which the Env serializes. Firing is idempotent,
+// and a nil *Abort is a valid "never aborted" token — all methods are
+// nil-safe, so unpoliced requests pay one nil check and nothing else.
+type Abort struct {
+	fired bool
+	// cancels holds the cancellation hooks of in-flight blocking operations
+	// (fabric flows, see Fabric.Transfer). Hooks are never deregistered:
+	// each one is a no-op once its operation completed, and the slice dies
+	// with the request. A request accumulates one hook per transfer it
+	// starts, which is bounded by its op count — never by simulation length.
+	cancels []func()
+}
+
+// NewAbort returns an unfired token.
+func NewAbort() *Abort { return &Abort{} }
+
+// Fired reports whether the token has fired. Nil-safe.
+func (a *Abort) Fired() bool { return a != nil && a.fired }
+
+// Fire triggers the token: every registered cancellation hook runs (in
+// registration order, deterministically) and subsequent Fired calls report
+// true. Firing twice — or firing a nil token — is a no-op.
+func (a *Abort) Fire() {
+	if a == nil || a.fired {
+		return
+	}
+	a.fired = true
+	cancels := a.cancels
+	a.cancels = nil
+	for _, fn := range cancels {
+		fn()
+	}
+}
+
+// OnFire registers a cancellation hook. If the token already fired the hook
+// runs immediately; otherwise it runs (once) when Fire is called. Hooks
+// must tolerate running after their operation completed on its own.
+func (a *Abort) OnFire(fn func()) {
+	if a == nil {
+		return
+	}
+	if a.fired {
+		fn()
+		return
+	}
+	a.cancels = append(a.cancels, fn)
+}
+
+// SetAbort attaches a cancellation token to the process: blocking
+// operations that support cancellation (fabric transfers, retry backoff
+// loops, multi-op client streams) poll it and unwind early once it fires.
+// nil detaches. The token is carried like the flow tag — per process, not
+// inherited by processes this one spawns; spawners propagate it explicitly
+// when a child acts on the request's behalf.
+func (p *Proc) SetAbort(a *Abort) { p.abort = a }
+
+// AbortSignal returns the process's attached token (nil when none).
+func (p *Proc) AbortSignal() *Abort { return p.abort }
+
+// Aborted reports whether the process carries a fired abort token.
+func (p *Proc) Aborted() bool { return p.abort != nil && p.abort.fired }
+
+// AbortFlow removes an in-flight flow from the fabric before it completes:
+// the flow leaves its class, its pipes' flow counts drop, the region is
+// re-solved, and the flow's done event fires so its waiter unwinds. Bytes
+// already moved stay moved (and stay attributed to the flow's tag) — an
+// aborted transfer wasted real bandwidth, which is exactly what makes
+// deadline-abandoned work expensive in a retry storm. Aborting a flow that
+// already completed is a no-op, so cancellation hooks may race benignly
+// with normal completion.
+func (f *Fabric) AbortFlow(fl *Flow) {
+	if fl.done.fired {
+		return
+	}
+	f.advance()
+	c := fl.class
+	c.removeMember(fl)
+	c.count--
+	for _, pp := range c.pipes {
+		pp.nflows--
+		f.touch(pp)
+	}
+	if c.count == 0 {
+		f.retireClass(c)
+	}
+	f.liveFlows--
+	f.markDirty()
+	fl.done.Fire()
+}

@@ -247,15 +247,30 @@ func PathLatency(pipes []*Pipe) Duration {
 // than individual packets.
 // The flow inherits the calling process's flow tag (see Proc.SetFlowTag),
 // so multi-tenant engines get per-tenant bandwidth attribution for free.
+//
+// Transfer is a cancellation point: if the process carries an abort token
+// (Proc.SetAbort) that fired, it returns immediately without moving bytes,
+// and a token firing mid-transfer cancels the in-flight flow (AbortFlow) so
+// the waiter unwinds at once instead of draining a parked pipe.
 func (f *Fabric) Transfer(p *Proc, pipes []*Pipe, bytes float64, rateCap float64) {
 	if bytes <= 0 {
+		return
+	}
+	ab := p.abort
+	if ab != nil && ab.fired {
 		return
 	}
 	tag := p.flowTag
 	if lat := PathLatency(pipes); lat > 0 {
 		p.Sleep(lat)
+		if ab != nil && ab.fired {
+			return // aborted during the propagation delay
+		}
 	}
 	fl := f.StartFlowTagged(pipes, bytes, rateCap, tag)
+	if ab != nil {
+		ab.OnFire(func() { f.AbortFlow(fl) })
+	}
 	fl.done.Wait(p)
 }
 

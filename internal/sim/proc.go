@@ -23,6 +23,11 @@ type Proc struct {
 	// untagged traffic and costs nothing.
 	flowTag string
 
+	// abort is the request-scoped cancellation token (see abort.go); nil
+	// means the process never aborts, which costs one nil check per
+	// cancellation point.
+	abort *Abort
+
 	// Done fires when the process function returns. Other processes can
 	// Wait on it to join this process.
 	Done *Event

@@ -153,6 +153,56 @@ func (c *flowClass) popMember() *Flow {
 	return top
 }
 
+// removeMember deletes an arbitrary live flow from the class completion
+// heap (flow abort). Aborts are rare next to completions, so the linear
+// member scan is fine; the heap property is restored with one sift from the
+// vacated slot. The caller adjusts count and pipe bookkeeping.
+func (c *flowClass) removeMember(fl *Flow) {
+	for i, m := range c.members {
+		if m != fl {
+			continue
+		}
+		last := len(c.members) - 1
+		c.members[i] = c.members[last]
+		c.members[last] = nil
+		c.members = c.members[:last]
+		if i < last {
+			c.fixMember(i)
+		}
+		return
+	}
+	panic("sim: aborted flow is not a live member of its class: " + c.describe())
+}
+
+// fixMember restores the heap property around slot i after a replacement:
+// sift up if the new occupant beats its parent, otherwise sift down.
+func (c *flowClass) fixMember(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !memberLess(c.members[i], c.members[parent]) {
+			break
+		}
+		c.members[i], c.members[parent] = c.members[parent], c.members[i]
+		i = parent
+	}
+	n := len(c.members)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && memberLess(c.members[l], c.members[smallest]) {
+			smallest = l
+		}
+		if r < n && memberLess(c.members[r], c.members[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		c.members[i], c.members[smallest] = c.members[smallest], c.members[i]
+		i = smallest
+	}
+}
+
 // memberLess orders members by completion target, breaking ties by start
 // order so same-instant completions fire deterministically.
 func memberLess(a, b *Flow) bool {

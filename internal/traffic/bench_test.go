@@ -3,6 +3,9 @@ package traffic
 import (
 	"testing"
 	"time"
+
+	"storagesim/internal/netsim"
+	"storagesim/internal/resilience"
 )
 
 // BenchmarkTrafficEngine measures the end-to-end cost of one generated
@@ -20,6 +23,46 @@ func BenchmarkTrafficEngine(b *testing.B) {
 		RequestBytes: 1 << 20, IOBytes: 1 << 20,
 		MaxInflight: 256,
 	}}}
+	const requestsPerRun = 4096
+	window := time.Duration(requestsPerRun) * time.Millisecond
+	runs := 0
+	var generated uint64
+	b.ResetTimer()
+	for generated < uint64(b.N) {
+		env, fab, mount := fakeRig(1e12)
+		rep := Run(env, fab, 4, mount, Config{
+			Spec: spec, Duration: window, Seed: uint64(runs + 1),
+		})
+		generated += rep.Tenants[0].Offered
+		runs++
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(generated)/float64(runs), "req/run")
+}
+
+// BenchmarkResilienceOverhead is BenchmarkTrafficEngine with the full
+// policy stack armed — deadline, retry budget, hedging, breaker, brownout
+// — on an uncongested rig, so every request takes the resilient path but
+// nothing actually fires. The delta against BenchmarkTrafficEngine is the
+// pure bookkeeping cost of the layer per request (coordinator proc, abort
+// token, breaker check, hedge/deadline timers armed and cancelled).
+func BenchmarkResilienceOverhead(b *testing.B) {
+	b.ReportAllocs()
+	spec := Spec{
+		Brownout: resilience.Brownout{Capacity: 1024, Tiers: []float64{1.0, 0.5}},
+		Tenants: []Tenant{{
+			Name: "bench", Clients: 1_000_000, Workload: SeqWrite,
+			Arrival:      Arrival{Kind: Poisson, Rate: 1e-3}, // 1000 req/s aggregate
+			RequestBytes: 1 << 20, IOBytes: 1 << 20,
+			MaxInflight: 256,
+			Resilience: resilience.Policy{
+				Deadline: time.Second,
+				Retry:    netsim.RetryPolicy{Timeout: 10 * time.Millisecond, Multiplier: 2, MaxRetries: 2, Jitter: time.Millisecond},
+				Hedge:    resilience.Hedge{Quantile: 0.99, MinSamples: 32},
+				Breaker:  resilience.BreakerSpec{Failures: 10, Cooldown: 100 * time.Millisecond, Probes: 2, Successes: 3},
+			},
+		}},
+	}
 	const requestsPerRun = 4096
 	window := time.Duration(requestsPerRun) * time.Millisecond
 	runs := 0

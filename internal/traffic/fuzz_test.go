@@ -17,6 +17,11 @@ func FuzzTenantSpec(f *testing.F) {
 		`{"tenants":[{"name":"a","clients":1000000,"workload":"seq-write","arrival":{"kind":"rate","rate":1e-6},"request":"1g","io":"16m","max_inflight":1,"slo_p99":"1h"}]}`,
 		`{"tenants":[{"name":"a","clients":1,"workload":"rand-read","arrival":{"kind":"onoff","rate":1,"on":"1","off":"2","burst":1},"request":"4k","io":"4k"}]}`,
 		`{"tenants":[{"name":"a","clients":1,"workload":"metadata","arrival":{"kind":"diurnal","rate":1,"period":"24h","amplitude":0.999}}]}`,
+		`{"tenants":[{"name":"a","clients":1,"workload":"seq-write","arrival":{"kind":"poisson","rate":1},"deadline":"50ms","retry_policy":{"timeout":"10ms","multiplier":2,"max_timeout":"100ms","max_retries":3,"max_elapsed":"1s","jitter":"5ms"}}]}`,
+		`{"tenants":[{"name":"a","clients":1,"workload":"seq-read","arrival":{"kind":"poisson","rate":1},"hedge":{"quantile":0.95,"min_samples":64,"floor":"1ms"}}]}`,
+		`{"tenants":[{"name":"a","clients":1,"workload":"seq-write","arrival":{"kind":"poisson","rate":1},"priority":2,"deadline":"50ms","breaker":{"failures":5,"cooldown":"200ms","probes":2,"successes":3}}]}`,
+		`{"brownout":{"capacity":64,"tiers":[1.0,0.5,0.25]},"tenants":[{"name":"a","clients":1,"workload":"metadata","arrival":{"kind":"poisson","rate":1},"priority":1}]}`,
+		`{"tenants":[{"name":"a","clients":1,"workload":"seq-write","arrival":{"kind":"poisson","rate":1},"retry_policy":{"timeout":"10ms"}}]}`,
 		`{"tenants":[{"name":"a","clients":-1,"workload":"metadata","arrival":{"kind":"poisson","rate":1}}]}`,
 		`{"tenants":[{"name":"a","clients":1,"workload":"metadata","arrival":{"kind":"poisson","rate":1e309}}]}`,
 		`{"tenants":[]}`,

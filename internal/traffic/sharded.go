@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"storagesim/internal/fsapi"
+	"storagesim/internal/resilience"
 	"storagesim/internal/sim"
 	"storagesim/internal/stats"
 )
@@ -70,8 +71,10 @@ func (r ShardedReport) Digest() string {
 	for _, rr := range r.Racks {
 		out += fmt.Sprintf(" [%s", rr.Name)
 		for _, tr := range rr.Tenants {
-			out += fmt.Sprintf(" %s:%d/%d/%d/%d:%016x:%016x/%016x/%016x",
+			out += fmt.Sprintf(" %s:%d/%d/%d/%d:%d/%d/%d/%d/%d/%d/%d:%016x:%016x/%016x/%016x",
 				tr.Name, tr.Offered, tr.Shed, tr.Completed, tr.InFlightEnd,
+				tr.ShedAdmission, tr.ShedBrownout, tr.ShedBreaker, tr.DeadlineMiss,
+				tr.Retries, tr.Hedges, tr.HedgeWins,
 				math.Float64bits(tr.DeliveredBytes),
 				math.Float64bits(tr.P50.Seconds()),
 				math.Float64bits(tr.P95.Seconds()),
@@ -129,9 +132,20 @@ func RunSharded(g *sim.Group, racks []Rack, cfg ShardedConfig) ShardedReport {
 		totalNodes += rk.Nodes
 	}
 
-	// states[r][ti] is rack r's accounting slot for tenant ti.
+	// states[r][ti] is rack r's accounting slot for tenant ti. Breakers
+	// are per tenant×rack — each rack is its own backend instance, which
+	// is exactly the per-tenant×backend granularity the policy wants.
+	// Brownout capacity is likewise split evenly (rounded up) per rack,
+	// mirroring the inflight-cap split: admission state never crosses a
+	// domain boundary.
+	brown := cfg.Spec.Brownout
+	if brown.Enabled() && len(racks) > 1 {
+		brown.Capacity = (brown.Capacity + len(racks) - 1) / len(racks)
+	}
+	engs := make([]*engineState, len(racks))
 	states := make([][]*rackTenant, len(racks))
 	for r := range racks {
+		engs[r] = &engineState{brown: brown}
 		states[r] = make([]*rackTenant, len(cfg.Spec.Tenants))
 	}
 	for ti := range cfg.Spec.Tenants {
@@ -148,6 +162,7 @@ func RunSharded(g *sim.Group, racks []Rack, cfg ShardedConfig) ShardedReport {
 			st.capacity = rackCap
 			st.sketch = stats.NewSketch(cfg.SketchAlpha)
 			st.keep = cfg.KeepLatencies
+			st.breaker = resilience.NewBreaker(t.Resilience.Breaker)
 			states[r][ti] = st
 		}
 	}
@@ -169,7 +184,7 @@ func RunSharded(g *sim.Group, racks []Rack, cfg ShardedConfig) ShardedReport {
 				}
 				gen := newArrivalGen(t.Arrival, shardRate, shardSeed(cfg.Seed, ti, base+node))
 				place := placementSeed(cfg.Seed, ti, base+node)
-				launchRackShard(g, racks, states, r, ti, cl, gen, node, end, remote, place)
+				launchRackShard(g, engs[r], racks, states, r, ti, cl, gen, node, end, remote, place)
 			}
 		}
 		if remote > 0 {
@@ -208,6 +223,16 @@ func RunSharded(g *sim.Group, racks []Rack, cfg ShardedConfig) ShardedReport {
 			merged.Offered += tr.Offered
 			merged.Shed += tr.Shed
 			merged.Completed += tr.Completed
+			merged.ShedAdmission += tr.ShedAdmission
+			merged.ShedBrownout += tr.ShedBrownout
+			merged.ShedBreaker += tr.ShedBreaker
+			merged.DeadlineMiss += tr.DeadlineMiss
+			merged.Retries += tr.Retries
+			merged.Hedges += tr.Hedges
+			merged.HedgeWins += tr.HedgeWins
+			merged.Breaker.Opens += tr.Breaker.Opens
+			merged.Breaker.HalfOpens += tr.Breaker.HalfOpens
+			merged.Breaker.Closes += tr.Breaker.Closes
 			merged.InFlightEnd += tr.InFlightEnd
 			merged.DeliveredBytes += tr.DeliveredBytes
 			merged.Sketch.Merge(tr.Sketch)
@@ -229,14 +254,22 @@ func RunSharded(g *sim.Group, racks []Rack, cfg ShardedConfig) ShardedReport {
 // the unsharded path's bookkeeping fields).
 func tenantReport(st *tenantState) TenantReport {
 	tr := TenantReport{
-		Name:        st.spec.Name,
-		Offered:     st.offered,
-		Shed:        st.shed,
-		Completed:   st.complete,
-		InFlightEnd: st.inflight,
-		SLOP99:      st.spec.SLOP99,
-		Sketch:      st.sketch,
-		Latencies:   st.lats,
+		Name:          st.spec.Name,
+		Offered:       st.offered,
+		Shed:          st.shed,
+		Completed:     st.complete,
+		ShedAdmission: st.shedAdmission,
+		ShedBrownout:  st.shedBrownout,
+		ShedBreaker:   st.shedBreaker,
+		DeadlineMiss:  st.deadlineMiss,
+		Retries:       st.retries,
+		Hedges:        st.hedges,
+		HedgeWins:     st.hedgeWins,
+		Breaker:       st.breaker.Stats(),
+		InFlightEnd:   st.inflight,
+		SLOP99:        st.spec.SLOP99,
+		Sketch:        st.sketch,
+		Latencies:     st.lats,
 	}
 	tr.P50 = sketchDur(st.sketch, 50)
 	tr.P95 = sketchDur(st.sketch, 95)
@@ -262,7 +295,14 @@ func placementSeed(seed uint64, tenant, shard int) uint64 {
 // reply message lands back home. The request's latency therefore includes
 // two link crossings plus the remote rack's service time, measured entirely
 // on the home rack's clock.
-func launchRackShard(g *sim.Group, racks []Rack, states [][]*rackTenant, r, ti int,
+//
+// The resilience layer applies to rack-local requests only: a forwarded
+// request's attempts would need cross-domain cancellation (an abort token
+// is single-Env state), so remote requests run the baseline path and hand
+// back any breaker probe grant (Release — the grant is unused, not failed).
+// Breakers still observe every local outcome, which is where the backend
+// they guard actually serves.
+func launchRackShard(g *sim.Group, eng *engineState, racks []Rack, states [][]*rackTenant, r, ti int,
 	cl fsapi.Client, gen *arrivalGen, node int, end sim.Time, remote float64, placeSeed uint64) {
 	rk := &racks[r]
 	st := states[r][ti]
@@ -278,14 +318,33 @@ func launchRackShard(g *sim.Group, racks []Rack, states [][]*rackTenant, r, ti i
 		paths[i] = fmt.Sprintf("/traffic/%s/n%d/f%d", st.spec.Name, node, i)
 		remPaths[i] = fmt.Sprintf("/traffic/%s/rem-r%dn%d/f%d", st.spec.Name, r, node, i)
 	}
+	resilient := st.spec.Resilience.Enabled() || eng.brown.Enabled()
 	place := stats.NewRNG(placeSeed)
 	env.Go(genName, func(p *sim.Proc) {
 		var reqIdx uint64
 		for at := gen.next(0); at <= end; at = gen.next(at) {
 			p.SleepUntil(at)
 			st.offered++
+			probe := false
+			if resilient {
+				var ok bool
+				now := p.Now()
+				if ok, probe = st.breaker.Allow(now); !ok {
+					st.shed++
+					st.shedBreaker++
+					continue
+				}
+				if eng.brown.Enabled() && eng.inflight >= eng.brown.Threshold(st.spec.Priority) {
+					st.breaker.Release(probe)
+					st.shed++
+					st.shedBrownout++
+					continue
+				}
+			}
 			if st.capacity > 0 && st.inflight >= st.capacity {
+				st.breaker.Release(probe)
 				st.shed++
+				st.shedAdmission++
 				continue
 			}
 			idx := reqIdx % reqFiles
@@ -306,12 +365,44 @@ func launchRackShard(g *sim.Group, racks []Rack, states [][]*rackTenant, r, ti i
 				}
 			}
 			st.inflight++
+			eng.inflight++
 			if target == r {
 				path := paths[idx]
+				if resilient {
+					flowID := (uint64(node)+1)*0x9e3779b97f4a7c15 + reqIdx
+					pr := probe
+					env.Go(reqName, func(rp *sim.Proc) {
+						pl := st.spec.Resilience
+						hd := pl.Hedge.Delay(st.sketch)
+						req := resilience.Request{FlowID: flowID, Attempt: func(ap *sim.Proc) {
+							serveRequest(ap, cl, st.spec, path)
+						}}
+						out := resilience.Execute(rp, pl, req, hd, st.breaker)
+						st.inflight--
+						eng.inflight--
+						st.retries += uint64(out.Retries)
+						st.hedges += uint64(out.Hedges)
+						st.hedgeWins += uint64(out.HedgeWins)
+						if !out.OK {
+							st.breaker.Failure(rp.Now(), pr)
+							st.shed++
+							st.deadlineMiss++
+							return
+						}
+						st.breaker.Success(pr)
+						st.complete++
+						st.sketch.Add(out.Elapsed.Seconds())
+						if st.keep {
+							st.lats = append(st.lats, out.Elapsed.Seconds())
+						}
+					})
+					continue
+				}
 				env.Go(reqName, func(rp *sim.Proc) {
 					start := rp.Now()
 					serveRequest(rp, cl, st.spec, path)
 					st.inflight--
+					eng.inflight--
 					st.complete++
 					lat := rp.Now().Sub(start).Seconds()
 					st.sketch.Add(lat)
@@ -321,6 +412,10 @@ func launchRackShard(g *sim.Group, racks []Rack, states [][]*rackTenant, r, ti i
 				})
 				continue
 			}
+			// Forwarded request: baseline path; the probe grant (if any) is
+			// unused — hand it back so half-open probe slots never leak to
+			// requests whose outcome the breaker will not see.
+			st.breaker.Release(probe)
 			start := env.Now()
 			path := remPaths[idx]
 			home, owner := rk.Shard, racks[target].Shard
@@ -330,6 +425,7 @@ func launchRackShard(g *sim.Group, racks []Rack, states [][]*rackTenant, r, ti i
 					serveRequest(rp, remoteSt.remoteMount, st.spec, path)
 					owner.Send(home, 0, func() {
 						st.inflight--
+						eng.inflight--
 						st.complete++
 						lat := home.Env().Now().Sub(start).Seconds()
 						st.sketch.Add(lat)

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"storagesim/internal/fsapi"
+	"storagesim/internal/resilience"
 	"storagesim/internal/sim"
 	"storagesim/internal/stats"
 	"storagesim/internal/trace"
@@ -43,15 +44,66 @@ type Config struct {
 	// run but would be missing from the recorded stream, so an undrained
 	// recording replays against less load than it was measured under.
 	Drain bool
+	// OutcomeObserver, when set, receives one event per request outcome —
+	// completions and every shed/failure class — which is how the
+	// retry-storm study buckets goodput timelines without touching the
+	// engine's aggregates.
+	OutcomeObserver func(OutcomeEvent)
+}
+
+// OutcomeKind classifies one request's fate.
+type OutcomeKind string
+
+// Outcome kinds.
+const (
+	// OutcomeCompleted: served within its deadline (or no deadline set).
+	OutcomeCompleted OutcomeKind = "completed"
+	// OutcomeDeadlineMiss: admitted, but every attempt missed the deadline
+	// (or the retry budget/breaker cut the request short).
+	OutcomeDeadlineMiss OutcomeKind = "deadline-miss"
+	// OutcomeShedAdmission: refused by the per-tenant inflight cap.
+	OutcomeShedAdmission OutcomeKind = "shed-admission"
+	// OutcomeShedBrownout: refused by the engine-wide brownout tiers.
+	OutcomeShedBrownout OutcomeKind = "shed-brownout"
+	// OutcomeShedBreaker: refused by an open circuit breaker.
+	OutcomeShedBreaker OutcomeKind = "shed-breaker"
+)
+
+// OutcomeEvent is one request's terminal accounting record.
+type OutcomeEvent struct {
+	// At is the outcome instant (arrival time for sheds, completion or
+	// failure time for admitted requests).
+	At sim.Time
+	// Tenant names the traffic class.
+	Tenant string
+	// Kind classifies the outcome.
+	Kind OutcomeKind
+	// Bytes is the request payload (delivered only when completed).
+	Bytes int64
+	// Retries and Hedges are the resilience effort spent on the request.
+	Retries, Hedges int
 }
 
 // TenantReport is the per-tenant outcome of a run.
 type TenantReport struct {
 	Name string
-	// Offered counts generated arrivals; Shed the ones refused by
-	// admission control; Completed the ones fully served inside the window.
-	// Offered - Shed - Completed requests were still in flight at the end.
+	// Offered counts generated arrivals; Shed the ones that terminated
+	// without completing (all shed classes plus deadline misses — kept as
+	// the sum for compatibility); Completed the ones fully served inside
+	// the window. Offered - Shed - Completed requests were still in flight
+	// at the end.
 	Offered, Shed, Completed uint64
+	// The Shed sum split by cause: per-tenant inflight-cap refusals,
+	// engine-wide brownout refusals, open-breaker refusals, and admitted
+	// requests whose every attempt missed the deadline.
+	// Shed = ShedAdmission + ShedBrownout + ShedBreaker + DeadlineMiss.
+	ShedAdmission, ShedBrownout, ShedBreaker, DeadlineMiss uint64
+	// Retries, Hedges and HedgeWins count the resilience layer's effort:
+	// re-attempts after deadline misses, speculative twins launched, and
+	// requests the twin won.
+	Retries, Hedges, HedgeWins uint64
+	// Breaker counts the tenant's circuit-breaker state transitions.
+	Breaker resilience.BreakerStats
 	// InFlightEnd is the admission count still open when the window closed.
 	InFlightEnd int
 	// DeliveredBytes integrates the tenant's fabric traffic (tagged flows),
@@ -112,6 +164,31 @@ type tenantState struct {
 	lats     []float64
 	keep     bool
 	obs      func(trace.Event)
+
+	// Resilience-layer state; zero/nil for legacy-path tenants.
+	breaker       *resilience.Breaker
+	shedAdmission uint64
+	shedBrownout  uint64
+	shedBreaker   uint64
+	deadlineMiss  uint64
+	retries       uint64
+	hedges        uint64
+	hedgeWins     uint64
+	outObs        func(OutcomeEvent)
+}
+
+// engineState is the run-wide admission state shared by all tenants —
+// the brownout policy works on the total in-flight count.
+type engineState struct {
+	brown    resilience.Brownout
+	inflight int
+}
+
+// shedEvent reports a refused arrival to the outcome observer.
+func (st *tenantState) shedEvent(at sim.Time, kind OutcomeKind) {
+	if st.outObs != nil {
+		st.outObs(OutcomeEvent{At: at, Tenant: st.spec.Name, Kind: kind, Bytes: st.spec.RequestBytes})
+	}
 }
 
 // reqFiles is the rotating file-set size per tenant×shard: requests cycle
@@ -150,6 +227,7 @@ func Run(env *sim.Env, fab *sim.Fabric, nodes int, mount func(tenant string, nod
 	}
 	end := sim.Time(0).Add(cfg.Duration)
 
+	eng := &engineState{brown: cfg.Spec.Brownout}
 	states := make([]*tenantState, len(cfg.Spec.Tenants))
 	for ti := range cfg.Spec.Tenants {
 		t := &cfg.Spec.Tenants[ti]
@@ -159,6 +237,8 @@ func Run(env *sim.Env, fab *sim.Fabric, nodes int, mount func(tenant string, nod
 			sketch:   stats.NewSketch(cfg.SketchAlpha),
 			keep:     cfg.KeepLatencies,
 			obs:      cfg.Observer,
+			breaker:  resilience.NewBreaker(t.Resilience.Breaker),
+			outObs:   cfg.OutcomeObserver,
 		}
 		states[ti] = st
 		shardRate := t.AggregateRate() * scale / float64(nodes)
@@ -168,7 +248,7 @@ func Run(env *sim.Env, fab *sim.Fabric, nodes int, mount func(tenant string, nod
 				tg.SetFlowTag(t.Name)
 			}
 			gen := newArrivalGen(t.Arrival, shardRate, shardSeed(cfg.Seed, ti, node))
-			launchShard(env, st, cl, gen, node, end)
+			launchShard(env, eng, st, cl, gen, node, end)
 		}
 	}
 
@@ -180,15 +260,23 @@ func Run(env *sim.Env, fab *sim.Fabric, nodes int, mount func(tenant string, nod
 	rep := Report{Duration: cfg.Duration}
 	for _, st := range states {
 		tr := TenantReport{
-			Name:         st.spec.Name,
-			Offered:      st.offered,
-			Shed:         st.shed,
-			Completed:    st.complete,
-			InFlightEnd:  st.inflight,
-			PayloadBytes: st.payload,
-			SLOP99:       st.spec.SLOP99,
-			Sketch:       st.sketch,
-			Latencies:    st.lats,
+			Name:          st.spec.Name,
+			Offered:       st.offered,
+			Shed:          st.shed,
+			Completed:     st.complete,
+			ShedAdmission: st.shedAdmission,
+			ShedBrownout:  st.shedBrownout,
+			ShedBreaker:   st.shedBreaker,
+			DeadlineMiss:  st.deadlineMiss,
+			Retries:       st.retries,
+			Hedges:        st.hedges,
+			HedgeWins:     st.hedgeWins,
+			Breaker:       st.breaker.Stats(),
+			InFlightEnd:   st.inflight,
+			PayloadBytes:  st.payload,
+			SLOP99:        st.spec.SLOP99,
+			Sketch:        st.sketch,
+			Latencies:     st.lats,
 		}
 		if fab != nil {
 			tr.DeliveredBytes = fab.TagBytes(st.spec.Name)
@@ -216,7 +304,10 @@ func sketchDur(s *stats.Sketch, p float64) sim.Duration {
 }
 
 // launchShard starts the generator process of one tenant×node shard.
-func launchShard(env *sim.Env, st *tenantState, cl fsapi.Client, gen *arrivalGen, node int, end sim.Time) {
+// Tenants without a resilience policy (and specs without brownout) take
+// the legacy path below, byte-identical to the engine before the policy
+// layer existed; resilient tenants route through admitResilient.
+func launchShard(env *sim.Env, eng *engineState, st *tenantState, cl fsapi.Client, gen *arrivalGen, node int, end sim.Time) {
 	genName := fmt.Sprintf("traffic/%s/gen%d", st.spec.Name, node)
 	reqName := fmt.Sprintf("traffic/%s/req%d", st.spec.Name, node)
 	pathBase := fmt.Sprintf("/traffic/%s/n%d/f", st.spec.Name, node)
@@ -224,16 +315,23 @@ func launchShard(env *sim.Env, st *tenantState, cl fsapi.Client, gen *arrivalGen
 	for i := range paths {
 		paths[i] = fmt.Sprintf("%s%d", pathBase, i)
 	}
+	resilient := st.spec.Resilience.Enabled() || eng.brown.Enabled()
 	env.Go(genName, func(p *sim.Proc) {
 		var reqIdx uint64
 		for at := gen.next(0); at <= end; at = gen.next(at) {
 			p.SleepUntil(at)
 			st.offered++
+			if resilient {
+				reqIdx = admitResilient(env, eng, st, cl, p, reqName, paths, node, reqIdx)
+				continue
+			}
 			// Queue-depth backpressure: beyond the cap the request is shed,
 			// never queued — an open-loop client that cannot be admitted has
 			// already missed its deadline.
 			if st.capacity > 0 && st.inflight >= st.capacity {
 				st.shed++
+				st.shedAdmission++
+				st.shedEvent(p.Now(), OutcomeShedAdmission)
 				continue
 			}
 			st.inflight++
@@ -262,9 +360,106 @@ func launchShard(env *sim.Env, st *tenantState, cl fsapi.Client, gen *arrivalGen
 						File:    path,
 					})
 				}
+				if st.outObs != nil {
+					st.outObs(OutcomeEvent{
+						At: rp.Now(), Tenant: st.spec.Name,
+						Kind: OutcomeCompleted, Bytes: st.spec.RequestBytes,
+					})
+				}
 			})
 		}
 	})
+}
+
+// admitResilient runs the policy-layer admission chain for one arrival —
+// breaker, then brownout tiers, then the per-tenant cap, in that order
+// (cheapest refusal first; a breaker grant consumed by a later stage is
+// handed back with Release so probe slots are never leaked) — and, when
+// admitted, spawns the request coordinator. It returns the advanced
+// request index.
+func admitResilient(env *sim.Env, eng *engineState, st *tenantState, cl fsapi.Client, p *sim.Proc, reqName string, paths []string, node int, reqIdx uint64) uint64 {
+	now := p.Now()
+	ok, probe := st.breaker.Allow(now)
+	if !ok {
+		st.shed++
+		st.shedBreaker++
+		st.shedEvent(now, OutcomeShedBreaker)
+		return reqIdx
+	}
+	if eng.brown.Enabled() && eng.inflight >= eng.brown.Threshold(st.spec.Priority) {
+		st.breaker.Release(probe)
+		st.shed++
+		st.shedBrownout++
+		st.shedEvent(now, OutcomeShedBrownout)
+		return reqIdx
+	}
+	if st.capacity > 0 && st.inflight >= st.capacity {
+		st.breaker.Release(probe)
+		st.shed++
+		st.shedAdmission++
+		st.shedEvent(now, OutcomeShedAdmission)
+		return reqIdx
+	}
+	st.inflight++
+	eng.inflight++
+	path := paths[reqIdx%reqFiles]
+	reqIdx++
+	// The backoff jitter stream is per request: distinct shards (and
+	// successive requests of one shard) must desynchronize, so the flow id
+	// mixes the shard index with the shard-local sequence number.
+	flowID := (uint64(node)+1)*0x9e3779b97f4a7c15 + reqIdx
+	env.Go(reqName, func(rp *sim.Proc) {
+		start := rp.Now()
+		pl := st.spec.Resilience
+		hd := pl.Hedge.Delay(st.sketch)
+		req := resilience.Request{FlowID: flowID, Attempt: func(ap *sim.Proc) {
+			serveRequest(ap, cl, st.spec, path)
+		}}
+		out := resilience.Execute(rp, pl, req, hd, st.breaker)
+		st.inflight--
+		eng.inflight--
+		st.retries += uint64(out.Retries)
+		st.hedges += uint64(out.Hedges)
+		st.hedgeWins += uint64(out.HedgeWins)
+		if !out.OK {
+			st.breaker.Failure(rp.Now(), probe)
+			st.shed++
+			st.deadlineMiss++
+			if st.outObs != nil {
+				st.outObs(OutcomeEvent{
+					At: rp.Now(), Tenant: st.spec.Name, Kind: OutcomeDeadlineMiss,
+					Bytes: st.spec.RequestBytes, Retries: out.Retries, Hedges: out.Hedges,
+				})
+			}
+			return
+		}
+		st.breaker.Success(probe)
+		st.complete++
+		st.payload += float64(st.spec.RequestBytes)
+		st.sketch.Add(out.Elapsed.Seconds())
+		if st.keep {
+			st.lats = append(st.lats, out.Elapsed.Seconds())
+		}
+		if st.obs != nil {
+			st.obs(trace.Event{
+				At:      start,
+				Tenant:  st.spec.Name,
+				Op:      workloadOp(st.spec.Workload),
+				Bytes:   st.spec.RequestBytes,
+				IO:      ioBytesOf(st.spec),
+				Latency: out.Elapsed,
+				Rank:    node,
+				File:    path,
+			})
+		}
+		if st.outObs != nil {
+			st.outObs(OutcomeEvent{
+				At: rp.Now(), Tenant: st.spec.Name, Kind: OutcomeCompleted,
+				Bytes: st.spec.RequestBytes, Retries: out.Retries, Hedges: out.Hedges,
+			})
+		}
+	})
+	return reqIdx
 }
 
 // ioBytesOf is the per-op transfer size a recording should carry for a

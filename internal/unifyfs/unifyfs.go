@@ -304,6 +304,9 @@ func (c *client) localRemoteSplit(total int64) (local, remote int64) {
 // remote share across the interconnect to the peers' devices in parallel.
 func (c *client) StreamWrite(p *sim.Proc, path string, a fsapi.Access, ioSize, total int64) {
 	c.stamp(p)
+	if fsapi.Aborted(p) {
+		return
+	}
 	s := c.sys
 	ino := s.ns.Create(path, false)
 	s.ns.Extend(ino, 0, total)
@@ -321,6 +324,9 @@ func (c *client) StreamWrite(p *sim.Proc, path string, a fsapi.Access, ioSize, t
 // chunk 0.
 func (c *client) StreamRead(p *sim.Proc, path string, a fsapi.Access, ioSize, total int64) {
 	c.stamp(p)
+	if fsapi.Aborted(p) {
+		return
+	}
 	s := c.sys
 	ino := s.ns.Lookup(path)
 	ownerIdx := c.idx
@@ -339,12 +345,20 @@ func (c *client) StreamRead(p *sim.Proc, path string, a fsapi.Access, ioSize, to
 }
 
 // streamSplit issues the local and remote shares as parallel flows and
-// waits for both.
+// waits for both. Spawned children do not inherit the caller's abort token
+// (sim.Proc tokens are per-process), so the request's token is propagated
+// explicitly: each half re-checks it on entry and its fabric transfers
+// register on it, letting a deadline unwind both halves in flight.
 func (c *client) streamSplit(p *sim.Proc, a fsapi.Access, ioSize, local, remote int64, write bool) {
 	s := c.sys
+	ab := p.AbortSignal()
 	wg := sim.NewWaitGroup(p.Env())
 	if local > 0 {
 		wg.Go(c.node.name+"/local", func(p *sim.Proc) {
+			p.SetAbort(ab)
+			if p.Aborted() {
+				return
+			}
 			if write {
 				c.node.dev.StreamWrite(p, a, ioSize, float64(local), nil, 0)
 			} else {
@@ -358,6 +372,10 @@ func (c *client) streamSplit(p *sim.Proc, a fsapi.Access, ioSize, local, remote 
 		peer := s.nodes[(c.idx+1)%len(s.nodes)]
 		path := c.remotePath(peer, write)
 		wg.Go(c.node.name+"/remote", func(p *sim.Proc) {
+			p.SetAbort(ab)
+			if p.Aborted() {
+				return
+			}
 			if write {
 				peer.dev.StreamWrite(p, a, ioSize, float64(remote), path, 0)
 			} else {

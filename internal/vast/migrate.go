@@ -46,18 +46,25 @@ func (st *stager) Staged() int64 { return st.staged }
 func (st *stager) Migrated() int64 { return st.migrated }
 
 // admit blocks the writer while the staging area is full (backpressure
-// precedes the SCM landing) and accounts the incoming bytes. The caller
-// starts the drain with migrate once the data has landed.
-func (st *stager) admit(p *sim.Proc, bytes int64) {
+// precedes the SCM landing) and accounts the incoming bytes, reporting
+// whether the write was admitted. The caller starts the drain with migrate
+// once the data has landed. A request whose abort token fires while it is
+// throttled is refused at the next space broadcast (migrations keep
+// draining during faults, so the wait is bounded) and must not migrate.
+func (st *stager) admit(p *sim.Proc, bytes int64) bool {
 	if bytes <= 0 {
-		return
+		return true
 	}
 	if st.capacity > 0 {
 		for st.staged >= st.capacity {
+			if p.Aborted() {
+				return false
+			}
 			st.space.Wait(p)
 		}
 	}
 	st.staged += bytes
+	return true
 }
 
 // migrate starts the asynchronous drain of bytes that have landed on SCM.

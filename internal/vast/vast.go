@@ -448,11 +448,18 @@ func (c *client) rebuildPaths() {
 func (c *client) StreamWrite(p *sim.Proc, path string, a fsapi.Access, ioSize, total int64) {
 	c.core.Stamp(p)
 	c.maybeRetry(p)
+	if fsapi.Aborted(p) {
+		return // deadline fired during the retransmit penalty
+	}
 	ino := c.sys.ns.Create(path, false)
 	c.sys.ns.Extend(ino, 0, total)
-	c.sys.staging.admit(p, total)
+	if !c.sys.staging.admit(p, total) {
+		return // aborted while throttled behind the staging tier
+	}
 	pa := c.writePath()
 	c.sys.scm.StreamWrite(p, a, ioSize, float64(total), pa.Pipes, pa.FlowCap)
+	// Whatever landed on SCM migrates even if the client aborted mid-flow:
+	// the staging drain is server-side state, not request state.
 	c.sys.staging.migrate(total)
 }
 
@@ -462,6 +469,9 @@ func (c *client) StreamWrite(p *sim.Proc, path string, a fsapi.Access, ioSize, t
 func (c *client) StreamRead(p *sim.Proc, path string, a fsapi.Access, ioSize, total int64) {
 	c.core.Stamp(p)
 	c.maybeRetry(p)
+	if fsapi.Aborted(p) {
+		return
+	}
 	pa := c.readPath()
 	capBps := pa.FlowCap
 	if a == fsapi.Random {
@@ -480,7 +490,12 @@ func (c *client) StreamRead(p *sim.Proc, path string, a fsapi.Access, ioSize, to
 func (b *backend) OpWrite(p *sim.Proc, ino *fsapi.Inode, off, n int64) {
 	c := (*client)(b)
 	c.maybeRetry(p)
-	c.sys.staging.admit(p, n)
+	if fsapi.Aborted(p) {
+		return
+	}
+	if !c.sys.staging.admit(p, n) {
+		return
+	}
 	pa := c.writePath()
 	if pa.RPCLatency > 0 {
 		p.Sleep(pa.RPCLatency)
@@ -495,6 +510,9 @@ func (b *backend) OpWrite(p *sim.Proc, ino *fsapi.Inode, off, n int64) {
 func (b *backend) OpRead(p *sim.Proc, ino *fsapi.Inode, off, n int64) {
 	c := (*client)(b)
 	c.maybeRetry(p)
+	if fsapi.Aborted(p) {
+		return
+	}
 	s := c.sys
 	pa := c.readPath()
 	if d := pa.RPCLatency + s.cfg.MetaLatency; d > 0 {
@@ -507,6 +525,9 @@ func (b *backend) OpRead(p *sim.Proc, ino *fsapi.Inode, off, n int64) {
 			s.fab.Transfer(p, pa.Pipes, float64(hit), pa.FlowCap)
 		}
 		for _, m := range misses {
+			if fsapi.Aborted(p) {
+				return
+			}
 			s.qlcOpRead(p, ino.ID, m.Off, m.Len)
 			s.fab.Transfer(p, pa.Pipes, float64(m.Len), pa.FlowCap)
 			s.dnodeCache.Insert(ino.ID, m.Off, m.Len, false)

@@ -48,6 +48,7 @@ import (
 	"storagesim/internal/nvmelocal"
 	"storagesim/internal/repair"
 	"storagesim/internal/replay"
+	"storagesim/internal/resilience"
 	"storagesim/internal/sim"
 	"storagesim/internal/stats"
 	"storagesim/internal/trace"
@@ -190,6 +191,21 @@ type (
 	// LatencySketch is the streaming quantile sketch backing the SLO
 	// accounting (DDSketch-style, 1% relative error by default).
 	LatencySketch = stats.Sketch
+	// TrafficOutcomeEvent is one request's terminal accounting record,
+	// delivered to Config.OutcomeObserver.
+	TrafficOutcomeEvent = traffic.OutcomeEvent
+	// ResiliencePolicy is the per-tenant client-side policy stack:
+	// deadline, retry budget, hedging, circuit breaker.
+	ResiliencePolicy = resilience.Policy
+	// ResilienceHedge configures tail-latency hedging.
+	ResilienceHedge = resilience.Hedge
+	// ResilienceBreakerSpec configures the per-tenant circuit breaker.
+	ResilienceBreakerSpec = resilience.BreakerSpec
+	// ResilienceBrownout is the engine-wide priority-tiered shedding policy.
+	ResilienceBrownout = resilience.Brownout
+	// RetryStormResult is the outcome of the retry-storm metastability
+	// study.
+	RetryStormResult = experiments.RetryStormResult
 )
 
 // ParseTenantSpec parses the JSON tenant-spec format consumed by
@@ -488,6 +504,11 @@ var (
 	// SaturationTenants is that canonical tenant mix (also trafficbench's
 	// built-in spec).
 	SaturationTenants = experiments.SaturationTenants
+	// RetryStormStudy contrasts unbounded client retries against the
+	// budgeted resilience stack (deadlines, retry budgets, jittered
+	// backoff, circuit breakers) through a transient link brownout — the
+	// metastable-failure demonstration.
+	RetryStormStudy = experiments.RetryStormStudy
 	// RunTraffic runs an open-loop traffic spec on a machine/fs testbed.
 	RunTraffic = experiments.RunTraffic
 	// RunTrafficWithFaults additionally arms a fault schedule on the
