@@ -10,9 +10,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test race reference-smoke bench-smoke fuzz-smoke chaos-smoke parallel-smoke fidelity-smoke resilience-smoke bench test-all
+.PHONY: check vet build test race reference-smoke bench-smoke bench-diff fuzz-smoke chaos-smoke parallel-smoke fidelity-smoke resilience-smoke bench test-all
 
-check: vet build race reference-smoke bench-smoke fuzz-smoke chaos-smoke parallel-smoke fidelity-smoke resilience-smoke
+check: vet build race reference-smoke bench-smoke bench-diff fuzz-smoke chaos-smoke parallel-smoke fidelity-smoke resilience-smoke
 
 vet:
 	$(GO) vet ./...
@@ -41,6 +41,18 @@ bench-smoke:
 	$(GO) test ./internal/sim/ -run XXX -bench BenchmarkFabricSolver -benchtime=1x
 	$(GO) test . -run XXX -bench 'BenchmarkKernel' -benchtime=1x
 	$(GO) test ./internal/traffic -run XXX -bench 'BenchmarkTrafficEngine|BenchmarkResilienceOverhead' -benchtime=1x
+
+# Regression gate over the recorded traffic-path benchmarks: a short fresh
+# run of the hot-path benches diffed against the checked-in BENCH_traffic.json.
+# Any allocs/op increase fails outright (allocation counts are exact and
+# machine-independent — the real teeth of the gate); ns/op gets a generous
+# tolerance because CI runners and dev machines differ. Tighten with
+# BENCHDIFF_TOLERANCE=0.10 when comparing runs on one machine.
+BENCHDIFF_TOLERANCE ?= 0.5
+bench-diff:
+	$(GO) test ./internal/traffic -run XXX -bench 'BenchmarkTrafficEngine|BenchmarkResilienceOverhead' -benchtime=100000x -benchmem \
+	| $(GO) run ./cmd/benchjson -o /tmp/storagesim-bench-diff.json
+	$(GO) run ./cmd/benchjson -diff -threshold $(BENCHDIFF_TOLERANCE) BENCH_traffic.json /tmp/storagesim-bench-diff.json
 
 # Each parser gets $(FUZZTIME) of coverage-guided fuzzing, and the calendar
 # queue is fuzzed differentially against the reference heap. Go allows one
@@ -106,12 +118,12 @@ bench:
 	  $(GO) test ./internal/sim/ -run XXX -bench BenchmarkFabricSolver -benchtime=3x -benchmem ; \
 	  $(GO) test . -run XXX -bench 'BenchmarkConsistency|BenchmarkFig2a|BenchmarkFig3$$' -benchtime=1x -benchmem ) \
 	| $(GO) run ./cmd/benchjson -baseline BENCH_baseline.json -o BENCH_kernel.json \
-	    -note "post-overhaul kernel numbers; baseline is the pre-overhaul binary-heap scheduler"
+	    -note "post-overhaul kernel numbers; baseline is the pre-overhaul binary-heap scheduler. Recorded with go1.24.0 linux/amd64 on a 1-core Intel Xeon @2.10GHz container, default GOMAXPROCS"
 	$(GO) test ./internal/traffic -run XXX -bench 'BenchmarkTrafficEngine|BenchmarkResilienceOverhead' -benchtime=2s -benchmem \
 	| $(GO) run ./cmd/benchjson -o BENCH_traffic.json \
-	    -note "open-loop traffic engine: cost per generated request (arrival draw, admission, spawn, transfer, sketch); ResilienceOverhead arms the full policy stack (deadline, retries, hedge, breaker, brownout) on an uncongested rig — the delta vs TrafficEngine is the layer's pure bookkeeping cost"
+	    -note "open-loop traffic engine: cost per generated request (arrival draw, admission, spawn, transfer, sketch); ResilienceOverhead arms the full policy stack (deadline, retries, hedge, breaker, brownout) on an uncongested rig — the delta vs TrafficEngine is the layer's pure bookkeeping cost (floor: two goroutine baton hand-offs per request, coordinator and attempt being separate processes). Recorded with go1.24.0 linux/amd64 on a 1-core Intel Xeon @2.10GHz container, default GOMAXPROCS"
 	$(GO) test ./internal/traffic -run XXX -bench BenchmarkParallelTraffic -benchtime=2s -benchmem -cpu=1,2,4,8 \
 	| $(GO) run ./cmd/benchjson -keep-cpu -o BENCH_parallel.json \
-	    -note "domain-parallel scaling sweep: 8 racks, executors = GOMAXPROCS (-cpu suffix); results are bit-identical across the sweep, only wall clock moves"
+	    -note "domain-parallel scaling sweep: 8 racks, executors = GOMAXPROCS (-cpu suffix); results are bit-identical across the sweep, only wall clock moves. Recorded with go1.24.0 linux/amd64 on a 1-core Intel Xeon @2.10GHz container (no physical parallelism: the sweep checks determinism, not speedup, here)"
 
 test-all: build test race

@@ -6,10 +6,17 @@
 //
 //	go test . -bench Kernel -benchmem | go run ./cmd/benchjson -o BENCH_kernel.json
 //	go test . -bench . -benchmem | go run ./cmd/benchjson -baseline BENCH_baseline.json
+//	go run ./cmd/benchjson -diff BENCH_traffic.json /tmp/new.json
 //
 // The output is deterministic for a given input: keys are sorted and no
 // timestamps are embedded. With -baseline, the named JSON file's benchmark
 // map is carried along under "baseline" for side-by-side comparison.
+//
+// With -diff old.json new.json the command compares two recorded documents
+// instead of reading stdin and exits non-zero when any shared benchmark
+// regressed: ns/op worse than the -threshold fraction (default 10%), or any
+// increase at all in allocs/op. That turns the checked-in BENCH_*.json files
+// into a regression gate (`make bench-diff`) rather than just a log.
 package main
 
 import (
@@ -19,6 +26,7 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -86,11 +94,92 @@ func parseLine(line string) (string, result, bool) {
 	return name, r, true
 }
 
+// loadDoc reads a benchjson document from disk.
+func loadDoc(path string) (document, error) {
+	var doc document
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return doc, err
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return doc, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return doc, nil
+}
+
+// diffDocs compares two recorded documents benchmark by benchmark and
+// reports regressions: ns/op more than threshold (a fraction, 0.10 = 10%)
+// above the old record, or any allocs/op increase. Benchmarks present in
+// only one document are listed but never fail the gate — new benchmarks
+// must be recordable without a chicken-and-egg failure.
+func diffDocs(oldDoc, newDoc document, threshold float64) (failures int) {
+	names := make([]string, 0, len(newDoc.Benchmarks))
+	for name := range newDoc.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		nr := newDoc.Benchmarks[name]
+		or, ok := oldDoc.Benchmarks[name]
+		if !ok {
+			fmt.Printf("  new  %-40s %10.1f ns/op %8.0f allocs/op (no old record)\n",
+				name, nr.NsPerOp, nr.AllocsPerOp)
+			continue
+		}
+		status := "ok  "
+		if or.NsPerOp > 0 && nr.NsPerOp > or.NsPerOp*(1+threshold) {
+			status = "FAIL"
+			failures++
+		} else if nr.AllocsPerOp > or.AllocsPerOp {
+			status = "FAIL"
+			failures++
+		}
+		delta := 0.0
+		if or.NsPerOp > 0 {
+			delta = (nr.NsPerOp - or.NsPerOp) / or.NsPerOp * 100
+		}
+		fmt.Printf("  %s %-40s %10.1f -> %10.1f ns/op (%+6.1f%%)  %6.0f -> %6.0f allocs/op\n",
+			status, name, or.NsPerOp, nr.NsPerOp, delta, or.AllocsPerOp, nr.AllocsPerOp)
+	}
+	for name := range oldDoc.Benchmarks {
+		if _, ok := newDoc.Benchmarks[name]; !ok {
+			fmt.Printf("  gone %s (recorded but not in new run)\n", name)
+		}
+	}
+	return failures
+}
+
 func main() {
 	out := flag.String("o", "", "write JSON here instead of stdout")
 	baseline := flag.String("baseline", "", "JSON file whose benchmarks are embedded under \"baseline\"")
 	note := flag.String("note", "", "free-form provenance note carried into the output")
+	diff := flag.Bool("diff", false, "compare two recorded JSON documents (old new) and exit non-zero on regression")
+	threshold := flag.Float64("threshold", 0.10, "ns/op regression tolerance for -diff, as a fraction")
 	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -diff needs exactly two arguments: old.json new.json")
+			os.Exit(2)
+		}
+		oldDoc, err := loadDoc(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		newDoc, err := loadDoc(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("benchjson diff: %s -> %s (ns/op tolerance %+.0f%%, allocs/op tolerance 0)\n",
+			flag.Arg(0), flag.Arg(1), *threshold*100)
+		if n := diffDocs(oldDoc, newDoc, *threshold); n > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed\n", n)
+			os.Exit(1)
+		}
+		return
+	}
 
 	doc := document{Benchmarks: map[string]result{}, Note: *note}
 	sc := bufio.NewScanner(os.Stdin)

@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"storagesim/internal/experiments"
+	"storagesim/internal/profiling"
 	"storagesim/internal/sim"
 	"storagesim/internal/trace"
 	"storagesim/internal/traffic"
@@ -50,7 +51,10 @@ func main() {
 	racks := flag.Int("racks", 1, "replay across this many racks via the fitted spec (domain-sharded)")
 	domains := flag.Int("domains", 0, "executors advancing the racks in parallel (0 = GOMAXPROCS)")
 	remote := flag.Float64("remote", 0.25, "fraction of requests placed on another rack (racks > 1)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+	defer profiling.Start(*cpuProfile, *memProfile)()
 
 	if *record {
 		doRecord(*machine, *fs, *nodes, *duration, *seed, *load, *out)

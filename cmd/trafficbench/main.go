@@ -20,6 +20,7 @@ import (
 
 	"storagesim/internal/experiments"
 	"storagesim/internal/faults"
+	"storagesim/internal/profiling"
 	"storagesim/internal/traffic"
 	"storagesim/internal/units"
 )
@@ -37,7 +38,10 @@ func main() {
 	racks := flag.Int("racks", 1, "split the cluster into this many racks (domain shards), -nodes per rack")
 	domains := flag.Int("domains", 0, "executors advancing the racks in parallel (0 = GOMAXPROCS); results are identical for every value")
 	remote := flag.Float64("remote", 0.25, "fraction of requests placed on another rack (racks > 1)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+	defer profiling.Start(*cpuProfile, *memProfile)()
 
 	spec := experiments.SaturationTenants()
 	if *printSpec {

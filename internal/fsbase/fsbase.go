@@ -46,6 +46,12 @@ type ClientCore struct {
 	// FlowTag attributes this mount's fabric traffic to a tenant (see
 	// fsapi.FlowTagger); "" is the untagged default.
 	FlowTag string
+
+	// tagID caches the interned handle of FlowTag (valid while tagFor ==
+	// FlowTag), so per-operation stamping is an integer write instead of a
+	// string intern.
+	tagID  sim.FlowTag
+	tagFor string
 }
 
 // SetFlowTag implements fsapi.FlowTagger.
@@ -57,7 +63,13 @@ func (c *ClientCore) SetFlowTag(tag string) { c.FlowTag = tag }
 // tag a shared process may carry from a previous mount. The op-level core
 // stamps its own entry points; concrete clients must call Stamp at the top
 // of their stream methods.
-func (c *ClientCore) Stamp(p *sim.Proc) { p.SetFlowTag(c.FlowTag) }
+func (c *ClientCore) Stamp(p *sim.Proc) {
+	if c.tagFor != c.FlowTag {
+		c.tagID = p.Env().InternTag(c.FlowTag)
+		c.tagFor = c.FlowTag
+	}
+	p.SetFlowTagID(c.tagID)
+}
 
 // FSName implements fsapi.Client.
 func (c *ClientCore) FSName() string { return c.FS }

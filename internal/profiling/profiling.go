@@ -1,0 +1,54 @@
+// Package profiling backs the -cpuprofile/-memprofile flag pair shared by
+// the CLI tools that drive the hot request path (trafficbench, tracereplay,
+// paperfigs): one call after flag parsing starts the CPU profile, and the
+// returned stop function ends it and writes the heap profile on the way
+// out. Keeping it in one place means every tool profiles the same way —
+// heap profiles are taken after a forced GC so they show live retention,
+// not garbage awaiting collection.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into cpuPath (when non-empty) and returns a
+// stop function that ends the CPU profile and writes a heap profile to
+// memPath (when non-empty). Callers should defer the stop function
+// immediately; with both paths empty it is a no-op. Errors are reported,
+// not fatal: a failed profile must never take down the run it was
+// observing.
+func Start(cpuPath, memPath string) (stop func()) {
+	started := false
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "profiling: -cpuprofile: %v\n", err)
+		} else if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "profiling: -cpuprofile: %v\n", err)
+			f.Close()
+		} else {
+			started = true
+		}
+	}
+	return func() {
+		if started {
+			pprof.StopCPUProfile()
+		}
+		if memPath == "" {
+			return
+		}
+		f, err := os.Create(memPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "profiling: -memprofile: %v\n", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "profiling: -memprofile: %v\n", err)
+		}
+	}
+}

@@ -15,16 +15,39 @@ package sim
 // nil-safe, so unpoliced requests pay one nil check and nothing else.
 type Abort struct {
 	fired bool
-	// cancels holds the cancellation hooks of in-flight blocking operations
-	// (fabric flows, see Fabric.Transfer). Hooks are never deregistered:
-	// each one is a no-op once its operation completed, and the slice dies
-	// with the request. A request accumulates one hook per transfer it
-	// starts, which is bounded by its op count — never by simulation length.
+	// cancels holds the cancellation hooks of in-flight blocking operations.
+	// Hooks are never deregistered: each one is a no-op once its operation
+	// completed, and the slice dies with the request (or is truncated by
+	// Reset when the token is pooled). A request accumulates one hook per
+	// operation it starts, which is bounded by its op count — never by
+	// simulation length.
 	cancels []func()
+	// flows holds the closure-free form of the dominant hook: in-flight
+	// fabric transfers registered with onFireFlow. Each entry snapshots the
+	// flow's pool generation, so a hook outliving its (completed, recycled)
+	// flow can never abort the pooled object's next incarnation.
+	flows []flowRef
+}
+
+// flowRef pins one in-flight fabric flow to an abort token.
+type flowRef struct {
+	fab *Fabric
+	fl  *Flow
+	gen uint64
 }
 
 // NewAbort returns an unfired token.
 func NewAbort() *Abort { return &Abort{} }
+
+// Reset returns a token to the unfired state with no registered hooks, so
+// pooled request records can reuse one token allocation per lifecycle. The
+// caller owns the proof that no in-flight operation still carries the
+// token — for the request pool that is the record's live-attempt count.
+func (a *Abort) Reset() {
+	a.fired = false
+	a.cancels = a.cancels[:0]
+	a.flows = a.flows[:0]
+}
 
 // Fired reports whether the token has fired. Nil-safe.
 func (a *Abort) Fired() bool { return a != nil && a.fired }
@@ -38,9 +61,16 @@ func (a *Abort) Fire() {
 	}
 	a.fired = true
 	cancels := a.cancels
-	a.cancels = nil
+	a.cancels = a.cancels[:0]
 	for _, fn := range cancels {
 		fn()
+	}
+	flows := a.flows
+	a.flows = a.flows[:0]
+	for _, fr := range flows {
+		if fr.fl.gen == fr.gen {
+			fr.fab.AbortFlow(fr.fl)
+		}
 	}
 }
 
@@ -56,6 +86,22 @@ func (a *Abort) OnFire(fn func()) {
 		return
 	}
 	a.cancels = append(a.cancels, fn)
+}
+
+// onFireFlow registers cancellation of an in-flight fabric flow: the
+// closure-free fast path behind Transfer. Flow hooks run after the generic
+// cancels, in registration order; in practice a token carries one kind or
+// the other. The generation snapshot makes a hook that outlives its flow's
+// pooled lifetime an explicit no-op.
+func (a *Abort) onFireFlow(f *Fabric, fl *Flow) {
+	if a == nil {
+		return
+	}
+	if a.fired {
+		f.AbortFlow(fl)
+		return
+	}
+	a.flows = append(a.flows, flowRef{fab: f, fl: fl, gen: fl.gen})
 }
 
 // SetAbort attaches a cancellation token to the process: blocking
@@ -98,4 +144,5 @@ func (f *Fabric) AbortFlow(fl *Flow) {
 	f.liveFlows--
 	f.markDirty()
 	fl.done.Fire()
+	f.releaseFlow(fl)
 }

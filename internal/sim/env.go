@@ -32,9 +32,10 @@ type Env struct {
 	// baton; whichever goroutine drains the calendar hands it back.
 	mainResume chan struct{}
 
-	// stashed is a popped-but-not-yet-run fn event in transit from a worker
-	// to the main goroutine (see dispatch). At most one is ever in flight.
-	stashed *timedEvent
+	// fnPanic carries a model-callback panic from a worker goroutine to the
+	// main goroutine (see dispatch), so callback panics always surface at the
+	// Run caller no matter which goroutine happened to drain the event.
+	fnPanic any
 
 	procs   int // live (started, not yet finished) processes
 	blocked []blockedProc
@@ -44,6 +45,16 @@ type Env struct {
 	// goroutine launches (recycling diagnostics).
 	freeWorkers    []*worker
 	spawnedWorkers int
+
+	// freeProcs is the free list behind GoPooled: finished pooled Procs
+	// (with their Done events) recycled for the next spawn. Like the event
+	// pool, a plain slice — single-threaded by construction, deterministic
+	// reuse order.
+	freeProcs []*Proc
+
+	// Interned flow tags (see tag.go). tagNames[0] is the untagged "".
+	tagIndex map[string]FlowTag
+	tagNames []string
 }
 
 // blockedProc records one process parked on a non-timer wait, for the
@@ -148,6 +159,37 @@ func (e *Env) cancelTimer(t timerRef) {
 	}
 }
 
+// Timer is a by-value, allocation-free cancellable timer: the exported
+// analog of the kernel's internal timerRef, for model code that arms and
+// cancels a timer per operation (the resilience layer's hedge and deadline
+// timers). The zero value refers to nothing; Cancel on it is a no-op.
+type Timer struct {
+	env *Env
+	ev  *timedEvent
+	// gen snapshots the pooled event's generation at schedule time, exactly
+	// like EventHandle: once the event fires or cancels, the pooled object
+	// may belong to a later schedule and a stale Cancel must not touch it.
+	gen uint64
+}
+
+// AfterFunc schedules fn to run after duration d and returns a by-value
+// Timer that can cancel it. Unlike After, neither the schedule nor the
+// cancel allocates; callers that re-arm timers on a hot path should bind fn
+// once and reuse it.
+func (e *Env) AfterFunc(d Duration, fn func()) Timer {
+	ev := e.scheduleEvent(e.now.Add(d), evFn, fn, nil)
+	return Timer{env: e, ev: ev, gen: ev.gen}
+}
+
+// Cancel removes the timer's event from the calendar. Cancelling the zero
+// Timer, cancelling twice, or cancelling after the event fired (or after
+// the pooled event was recycled by a later schedule) are all no-ops.
+func (t Timer) Cancel() {
+	if t.ev != nil && t.ev.gen == t.gen {
+		t.env.q.cancel(t.ev)
+	}
+}
+
 // Go starts a new simulated process running fn. The process begins executing
 // at the current virtual time, after the caller parks or (when called from
 // outside the simulation) when Run is invoked. The goroutine that carries it
@@ -158,6 +200,48 @@ func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
 	e.procs++
 	e.scheduleEvent(e.now, evStart, nil, p)
 	return p
+}
+
+// GoPooled starts a simulated process like Go, but recycles the Proc record
+// (and its Done event) through a free list once the process function
+// returns. It deliberately returns nothing: the caller must not retain the
+// Proc or wait on its Done — both belong to the pool the moment fn returns
+// and will be rebound to a later spawn. Request-scoped fan-out (the traffic
+// engine's request coordinators, the resilience layer's attempts) is the
+// intended user: fire-and-forget processes spawned millions of times per
+// run, where the per-spawn Proc+Event allocation of Go dominates the heap
+// profile.
+//
+// Scheduling is byte-identical to Go — the same evStart event, the same
+// sequence-number consumption — so switching a spawn site between Go and
+// GoPooled never perturbs the deterministic schedule.
+func (e *Env) GoPooled(name string, fn func(p *Proc)) {
+	var p *Proc
+	if n := len(e.freeProcs); n > 0 {
+		p = e.freeProcs[n-1]
+		e.freeProcs[n-1] = nil
+		e.freeProcs = e.freeProcs[:n-1]
+		p.name = name
+		p.fn = fn
+		p.finished = false
+		p.Done.fired = false
+	} else {
+		p = &Proc{env: e, name: name, fn: fn, blockedIdx: -1, pooled: true, Done: NewEvent(e)}
+	}
+	e.procs++
+	e.scheduleEvent(e.now, evStart, nil, p)
+}
+
+// recycleProc returns a finished pooled Proc to the free list. The stale
+// w.proc pointer its last worker may still hold is harmless: a parked
+// worker's proc field is only read after bindWorker overwrites it, and a
+// dispatching worker's own process cannot have been recycled and re-parked
+// within that same dispatch (restarting it rebinds and ends the dispatch).
+func (e *Env) recycleProc(p *Proc) {
+	p.w = nil
+	p.flowTag = 0
+	p.abort = nil
+	e.freeProcs = append(e.freeProcs, p)
 }
 
 // dispatch outcomes.
@@ -174,19 +258,20 @@ const (
 // calling process returns dispSelf with no channel traffic at all. w is the
 // calling worker, nil when main dispatches.
 //
-// Plain fn events always run on the main goroutine: model callbacks (the
-// fabric solver above all) can be deep, and running them on whichever worker
-// happens to hold the baton would grow every worker's stack to the model's
-// high-water mark — hundreds of stack copies on churny workloads. A worker
-// that pops an fn event instead stashes it and hands the baton home, so the
-// model only ever deepens main's one stack (and panics from model callbacks
-// surface at the Run caller, as they did in the seed).
+// Plain fn events run inline on whichever goroutine drains them. That is
+// what lets steady request traffic chain on a single worker with no channel
+// operations at all: a worker that finishes one request pops the next
+// arrival tick, admits inline, pops the spawn it just scheduled and rebinds
+// itself (dispSelf) — where stashing fn events for the main goroutine would
+// cost two baton hand-offs per callback. The price is that deep model
+// callbacks (the fabric solver above all) can grow worker stacks to the
+// model's high-water mark, bounded by the worker pool cap; panics from
+// model callbacks are relayed through fnPanic so they still surface at the
+// Run caller, as they did in the seed.
 func (e *Env) dispatch(w *worker) int {
 	for {
-		ev := e.stashed
-		if ev != nil {
-			e.stashed = nil
-		} else if ev = e.q.pop(e.deadline); ev == nil {
+		ev := e.q.pop(e.deadline)
+		if ev == nil {
 			if w == nil {
 				return dispDone
 			}
@@ -196,14 +281,18 @@ func (e *Env) dispatch(w *worker) int {
 		e.now = ev.at
 		switch ev.kind {
 		case evFn:
-			if w != nil {
-				e.stashed = ev
+			fn := ev.fn
+			e.q.release(ev)
+			if w == nil {
+				fn()
+			} else if !e.runFnOnWorker(fn) {
+				// The callback panicked: relay the value home, where runLoop
+				// re-panics at the Run caller. The simulation is dead; this
+				// goroutine parks forever on its resume channel (exactly the
+				// fate of every other worker parked mid-wait at a panic).
 				e.mainResume <- struct{}{}
 				return dispHandoff
 			}
-			fn := ev.fn
-			e.q.release(ev)
-			fn()
 		case evResume:
 			p := ev.proc
 			e.q.release(ev)
@@ -236,6 +325,19 @@ func (e *Env) dispatch(w *worker) int {
 	}
 }
 
+// runFnOnWorker executes a model callback on a worker goroutine, converting
+// a panic into a false return with the value parked in fnPanic. Keeping the
+// recover in its own frame keeps dispatch's hot loop free of deferred calls.
+func (e *Env) runFnOnWorker(fn func()) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.fnPanic = r
+		}
+	}()
+	fn()
+	return true
+}
+
 // maxFreeWorkers bounds the idle-goroutine pool. Recycling wins on churny
 // workloads where processes start and finish all run long, but a fan-in —
 // hundreds of processes finishing with no new starts — would otherwise park
@@ -257,6 +359,9 @@ func (e *Env) workerMain(w *worker) {
 		p.finished = true
 		e.procs--
 		p.Done.Fire()
+		if p.pooled {
+			e.recycleProc(p)
+		}
 		if len(e.freeWorkers) >= maxFreeWorkers {
 			// Pool full: hand the baton off and retire. dispatch cannot pick
 			// this worker again — its process is finished and it is not in
@@ -318,6 +423,11 @@ func (e *Env) runLoop() {
 			return
 		}
 		<-e.mainResume
+		if e.fnPanic != nil {
+			r := e.fnPanic
+			e.fnPanic = nil
+			panic(r)
+		}
 	}
 }
 

@@ -60,12 +60,28 @@ type Fabric struct {
 	// connected region reachable from them.
 	dirtyPipes []*Pipe
 
-	// tagBytes integrates delivered bytes per flow tag (multi-tenant
-	// attribution). Tags partition classes — the tag is part of the class
-	// signature — so the per-tag integral is exact under the same work
-	// accounting that serves per-flow completion. Lazily allocated: fabrics
-	// that never see a tagged flow pay nothing.
-	tagBytes map[string]float64
+	// tagAcc integrates delivered bytes per interned flow tag (multi-tenant
+	// attribution), indexed by FlowTag handle. Tags partition classes — the
+	// tag is part of the class signature — so the per-tag integral is exact
+	// under the same work accounting that serves per-flow completion.
+	// Grown on demand: fabrics that never see a tagged flow pay nothing.
+	tagAcc []float64
+
+	// freeFlows recycles the Flow records of completed transfers. Only
+	// Transfer-internal flows are pooled — StartFlow hands its Flow to the
+	// caller, who may hold it (and its Done event) indefinitely. gen on the
+	// Flow guards stale abort hooks across recycling.
+	freeFlows []*Flow
+
+	// deadClasses is the FIFO resurrection cache of retired flow classes
+	// (see solver.go): an empty class keeps its signature slot in classIndex
+	// so the next identical flow revives it instead of re-allocating class,
+	// key, pipe and slot storage — the dominant allocation site of steady
+	// request traffic, where each request's lone flow retires its class on
+	// completion and the next request re-creates it.
+	deadClasses []deadClassEntry
+	deadHead    int // index of the oldest live entry in deadClasses
+	deadSeq     uint64
 
 	// solver scratch, reused across solves (see solver.go).
 	regionPipes   []*Pipe
@@ -220,6 +236,11 @@ type Flow struct {
 	class  *flowClass
 	seq    uint64  // start order, used for deterministic completion events
 	target float64 // class work level (bytes per member) at which it is done
+	pooled bool    // recycled through fabric.freeFlows on completion/abort
+	// gen counts pool lifecycles. Abort hooks snapshot it at registration
+	// (see Abort.onFireFlow); a hook whose snapshot no longer matches is
+	// aimed at a recycled record and must not fire.
+	gen uint64
 	// done is embedded by value: one Flow allocation carries its completion
 	// event, halving the per-flow allocation count on the start path.
 	done Event
@@ -267,17 +288,15 @@ func (f *Fabric) Transfer(p *Proc, pipes []*Pipe, bytes float64, rateCap float64
 			return // aborted during the propagation delay
 		}
 	}
-	fl := f.StartFlowTagged(pipes, bytes, rateCap, tag)
-	if ab != nil {
-		ab.OnFire(func() { f.AbortFlow(fl) })
-	}
+	fl := f.startFlow(pipes, bytes, rateCap, tag, true)
+	ab.onFireFlow(f, fl)
 	fl.done.Wait(p)
 }
 
 // StartFlow registers an untagged flow without blocking; the returned
 // flow's Done event fires on completion. Most callers want Transfer.
 func (f *Fabric) StartFlow(pipes []*Pipe, bytes float64, rateCap float64) *Flow {
-	return f.StartFlowTagged(pipes, bytes, rateCap, "")
+	return f.startFlow(pipes, bytes, rateCap, 0, false)
 }
 
 // StartFlowTagged registers a flow carrying an attribution tag: its
@@ -285,17 +304,31 @@ func (f *Fabric) StartFlow(pipes []*Pipe, bytes float64, rateCap float64) *Flow 
 // their own fair-share classes per (path, cap, tag) signature; the empty
 // tag is the untagged default.
 func (f *Fabric) StartFlowTagged(pipes []*Pipe, bytes float64, rateCap float64, tag string) *Flow {
+	return f.startFlow(pipes, bytes, rateCap, f.env.InternTag(tag), false)
+}
+
+// startFlow registers a flow. pooled flows (Transfer's) are drawn from and
+// returned to the fabric's free list — the caller must not retain them past
+// their done event; StartFlow/StartFlowTagged flows are heap-allocated and
+// owned by the caller.
+func (f *Fabric) startFlow(pipes []*Pipe, bytes float64, rateCap float64, tag FlowTag, pooled bool) *Flow {
 	if len(pipes) == 0 {
 		panic("sim: flow must cross at least one pipe")
 	}
 	f.advance()
 	c := f.classFor(pipes, rateCap, tag)
-	fl := &Flow{
-		class:  c,
-		seq:    f.flowSeq,
-		target: c.work + bytes,
-		done:   Event{env: f.env},
+	var fl *Flow
+	if n := len(f.freeFlows); pooled && n > 0 {
+		fl = f.freeFlows[n-1]
+		f.freeFlows[n-1] = nil
+		f.freeFlows = f.freeFlows[:n-1]
+		fl.done.fired = false
+	} else {
+		fl = &Flow{pooled: pooled, done: Event{env: f.env}}
 	}
+	fl.class = c
+	fl.seq = f.flowSeq
+	fl.target = c.work + bytes
 	f.flowSeq++
 	c.pushMember(fl)
 	for _, pp := range c.pipes {
@@ -305,6 +338,17 @@ func (f *Fabric) StartFlowTagged(pipes []*Pipe, bytes float64, rateCap float64, 
 	f.liveFlows++
 	f.markDirty()
 	return fl
+}
+
+// releaseFlow recycles a completed (or aborted) pooled flow. The generation
+// bump invalidates every abort hook registered against this lifecycle.
+func (f *Fabric) releaseFlow(fl *Flow) {
+	if !fl.pooled {
+		return
+	}
+	fl.gen++
+	fl.class = nil
+	f.freeFlows = append(f.freeFlows, fl)
 }
 
 // Done exposes the completion event of a flow started with StartFlow.
@@ -326,13 +370,11 @@ func (f *Fabric) advance() {
 	}
 	for _, c := range f.classes {
 		c.work += c.rate * dt
-		if c.tag != "" {
+		if c.tag != 0 {
 			// f.classes iterates in deterministic (insertion/swap-remove)
 			// order, so same-tag float accumulation is reproducible.
-			if f.tagBytes == nil {
-				f.tagBytes = map[string]float64{}
-			}
-			f.tagBytes[c.tag] += c.rate * dt * float64(c.count)
+			// tagAcc is sized for every interned tag by classFor.
+			f.tagAcc[c.tag] += c.rate * dt * float64(c.count)
 		}
 	}
 }
@@ -341,7 +383,13 @@ func (f *Fabric) advance() {
 // integrated continuously (in-flight progress counts). Unknown tags report
 // zero. Call after the fabric has settled (or accept the value as of the
 // last advance).
-func (f *Fabric) TagBytes(tag string) float64 { return f.tagBytes[tag] }
+func (f *Fabric) TagBytes(tag string) float64 {
+	id, ok := f.env.lookupTag(tag)
+	if !ok || id == 0 || int(id) >= len(f.tagAcc) {
+		return 0
+	}
+	return f.tagAcc[id]
+}
 
 // touch marks a pipe's allocation as stale, scheduling its connected
 // component for the next solve.
@@ -427,6 +475,14 @@ func (f *Fabric) reapFinished() {
 	})
 	for _, fl := range reaped {
 		fl.done.Fire()
+	}
+	// Recycle after every completion fired: waiters were woken by Fire (they
+	// resume via their own scheduled events and never touch the Flow again),
+	// and the generation bump in releaseFlow disarms any abort hook still
+	// aimed at this lifecycle.
+	for i, fl := range reaped {
+		f.releaseFlow(fl)
+		reaped[i] = nil
 	}
 	f.reapScratch = reaped[:0]
 }

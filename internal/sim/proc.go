@@ -7,8 +7,10 @@ package sim
 //
 // The goroutine carrying a Proc is a pooled worker: when the process
 // function returns, the goroutine is recycled for the next Env.Go instead of
-// dying. The Proc itself is never recycled — callers may hold it (and its
-// Done event) indefinitely.
+// dying. A Proc started with Env.Go is never recycled — callers may hold it
+// (and its Done event) indefinitely. A Proc started with Env.GoPooled is
+// recycled the moment its function returns, which is why GoPooled hands out
+// no reference.
 type Proc struct {
 	env        *Env
 	name       string
@@ -16,12 +18,14 @@ type Proc struct {
 	w          *worker
 	blockedIdx int // index in env.blocked, -1 when not parked on a wait
 	finished   bool
+	pooled     bool // recycled via env.freeProcs when the function returns
 
 	// flowTag labels every fabric flow this process starts (multi-tenant
-	// attribution; see Fabric.TagBytes). Backends stamp it from the mount's
-	// tag at the entry of each data-path operation, so the empty tag means
-	// untagged traffic and costs nothing.
-	flowTag string
+	// attribution; see Fabric.TagBytes). Backends stamp the interned handle
+	// of their mount's tag at the entry of each data-path operation, so the
+	// zero (untagged) handle costs nothing and the stamp is an integer
+	// write.
+	flowTag FlowTag
 
 	// abort is the request-scoped cancellation token (see abort.go); nil
 	// means the process never aborts, which costs one nil check per
@@ -57,11 +61,19 @@ func (p *Proc) Now() Time { return p.env.now }
 // SetFlowTag labels all fabric flows this process subsequently starts.
 // Flows with distinct tags form distinct fair-share classes and their
 // delivered bytes are attributed per tag (Fabric.TagBytes); the empty tag
-// restores untagged operation.
-func (p *Proc) SetFlowTag(tag string) { p.flowTag = tag }
+// restores untagged operation. The string is interned on every call — hot
+// per-operation stamping should intern once and use SetFlowTagID.
+func (p *Proc) SetFlowTag(tag string) { p.flowTag = p.env.InternTag(tag) }
+
+// SetFlowTagID stamps a pre-interned tag handle (see Env.InternTag): the
+// allocation- and hash-free form of SetFlowTag for per-operation stamping.
+func (p *Proc) SetFlowTagID(tag FlowTag) { p.flowTag = tag }
 
 // FlowTag returns the process's current flow tag ("" when untagged).
-func (p *Proc) FlowTag() string { return p.flowTag }
+func (p *Proc) FlowTag() string { return p.env.TagName(p.flowTag) }
+
+// FlowTagID returns the process's current interned tag handle.
+func (p *Proc) FlowTagID() FlowTag { return p.flowTag }
 
 // park hands control to the scheduler and blocks until some event resumes
 // this process. The calling goroutine drains the calendar itself (see
@@ -132,6 +144,25 @@ type Event struct {
 
 // NewEvent returns an unfired event bound to env.
 func NewEvent(env *Env) *Event { return &Event{env: env} }
+
+// Init binds a zero-value (typically embedded) Event to env and resets it
+// to the unfired state, so request records can reuse one Event allocation
+// across pooled lifecycles.
+func (ev *Event) Init(env *Env) {
+	ev.env = env
+	ev.Reset()
+}
+
+// Reset returns a fired event to the unfired state for reuse. Resetting an
+// event that still has waiters would silently strand them, so that panics —
+// it is always a lifecycle bug (the pool recycled a record something still
+// waits on).
+func (ev *Event) Reset() {
+	if len(ev.waiters) != 0 {
+		panic("sim: Event.Reset with waiters still parked")
+	}
+	ev.fired = false
+}
 
 // Fired reports whether the event has fired.
 func (ev *Event) Fired() bool { return ev.fired }

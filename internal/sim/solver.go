@@ -23,7 +23,7 @@ type flowClass struct {
 	pipes   []*Pipe
 	slots   []int // index of this class in pipes[i].classes (backrefs)
 	rateCap float64
-	tag     string // attribution tag; part of the signature ("" = untagged)
+	tag     FlowTag // attribution tag; part of the signature (0 = untagged)
 	key     string
 	index   int // position in fabric.classes (backref for swap-remove)
 
@@ -34,10 +34,32 @@ type flowClass struct {
 	// members is a min-heap of live flows ordered by (target, seq).
 	members []*Flow
 
+	// Resurrection cache state (see retireClass): a dead class is retired
+	// from the solver but keeps its classIndex slot so the next identical
+	// signature revives it instead of allocating afresh. deadSeq stamps the
+	// retirement that parked it, so the eviction FIFO can tell whether its
+	// entry is still the one that owns the index slot.
+	dead    bool
+	deadSeq uint64
+
 	// solver scratch
 	frozen   bool
 	visitGen uint64
 }
+
+// deadClassEntry is one parked class in the fabric's bounded resurrection
+// FIFO. seq must match the class's deadSeq for the entry to still own it —
+// a class that was resurrected and re-retired has a newer entry.
+type deadClassEntry struct {
+	c   *flowClass
+	seq uint64
+}
+
+// deadClassCap bounds how many retired classes keep their classIndex slots
+// warm. Steady request traffic cycles through a handful of signatures;
+// 256 covers large multi-tenant sweeps while keeping worst-case retained
+// memory trivial.
+const deadClassCap = 256
 
 // describe names the class for panic messages.
 func (c *flowClass) describe() string {
@@ -47,19 +69,27 @@ func (c *flowClass) describe() string {
 
 // classFor returns the live class for (pipes, rateCap, tag), creating and
 // registering it if none exists. The signature key is the pipe id sequence
-// plus the cap bits plus the tag bytes and tag length; lookup is
-// allocation-free on the hit path. The trailing fixed-width tag length
-// keeps the variable-length tag from aliasing a longer pipe sequence.
-func (f *Fabric) classFor(pipes []*Pipe, rateCap float64, tag string) *flowClass {
+// plus the cap bits plus the fixed-width interned tag handle; lookup is
+// allocation-free on the hit path. A hit on a dead (retired, cached) class
+// resurrects it: zeroed work/rate and re-registered with its pipes, which is
+// observationally identical to a freshly created class.
+func (f *Fabric) classFor(pipes []*Pipe, rateCap float64, tag FlowTag) *flowClass {
+	if tag > 0 {
+		for int(tag) >= len(f.tagAcc) {
+			f.tagAcc = append(f.tagAcc, 0)
+		}
+	}
 	buf := f.keyBuf[:0]
 	for _, p := range pipes {
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(p.id))
 	}
 	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(rateCap))
-	buf = append(buf, tag...)
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(tag)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(tag))
 	f.keyBuf = buf
 	if c, ok := f.classIndex[string(buf)]; ok {
+		if c.dead {
+			f.resurrectClass(c)
+		}
 		return c
 	}
 	c := &flowClass{
@@ -79,10 +109,31 @@ func (f *Fabric) classFor(pipes []*Pipe, rateCap float64, tag string) *flowClass
 	return c
 }
 
-// retireClass unregisters an empty class from its pipes, the class list and
-// the signature index. Swap-remove keeps the deterministic order property:
-// the resulting order depends only on the (deterministic) sequence of
-// insertions and removals, never on map iteration.
+// resurrectClass re-registers a dead cached class exactly as classFor would
+// register a fresh one: work and rate restart from zero (the work integral
+// is defined per class lifetime), and the class re-enters each pipe's class
+// list and the fabric class list at the positions a new class would take.
+// Its stale FIFO entry is left behind; the deadSeq mismatch makes eviction
+// skip it.
+func (f *Fabric) resurrectClass(c *flowClass) {
+	c.dead = false
+	c.work = 0
+	c.rate = 0
+	c.frozen = false
+	c.index = len(f.classes)
+	for i, p := range c.pipes {
+		c.slots[i] = len(p.classes)
+		p.classes = append(p.classes, c)
+	}
+	f.classes = append(f.classes, c)
+}
+
+// retireClass unregisters an empty class from its pipes and the class list.
+// Swap-remove keeps the deterministic order property: the resulting order
+// depends only on the (deterministic) sequence of insertions and removals,
+// never on map iteration. The class keeps its classIndex slot and parks in
+// the bounded resurrection FIFO; only eviction from the FIFO finally drops
+// the index entry (and only if the class was not resurrected since).
 func (f *Fabric) retireClass(c *flowClass) {
 	for i, p := range c.pipes {
 		slot := c.slots[i]
@@ -109,7 +160,29 @@ func (f *Fabric) retireClass(c *flowClass) {
 	moved.index = c.index
 	f.classes[last] = nil
 	f.classes = f.classes[:last]
-	delete(f.classIndex, c.key)
+
+	c.dead = true
+	c.deadSeq = f.deadSeq
+	f.deadSeq++
+	f.deadClasses = append(f.deadClasses, deadClassEntry{c: c, seq: c.deadSeq})
+	if len(f.deadClasses)-f.deadHead > deadClassCap {
+		victim := f.deadClasses[f.deadHead]
+		f.deadClasses[f.deadHead] = deadClassEntry{}
+		f.deadHead++
+		if victim.c.dead && victim.c.deadSeq == victim.seq {
+			delete(f.classIndex, victim.c.key)
+		}
+		// Compact once the dead prefix dominates, so the slice does not
+		// grow without bound under churn.
+		if f.deadHead >= deadClassCap {
+			n := copy(f.deadClasses, f.deadClasses[f.deadHead:])
+			for i := n; i < len(f.deadClasses); i++ {
+				f.deadClasses[i] = deadClassEntry{}
+			}
+			f.deadClasses = f.deadClasses[:n]
+			f.deadHead = 0
+		}
+	}
 }
 
 // pushMember adds a flow to the class completion heap.

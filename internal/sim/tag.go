@@ -1,0 +1,48 @@
+package sim
+
+// FlowTag is an interned flow-attribution tag: a dense integer handle for
+// the tag string carried by processes and fabric flows. The zero value is
+// the untagged default (the empty string). Interning happens once per
+// distinct tag per Env — backends cache the handle of their mount's tag —
+// so the per-operation stamp and the per-flow class signature are integer
+// writes, never string hashing.
+type FlowTag int32
+
+// InternTag returns the environment-wide handle of the given tag string,
+// assigning one on first use. The empty string always maps to the zero
+// handle. Handles are assigned in interning order, so a deterministic
+// sequence of InternTag calls yields deterministic handles.
+func (e *Env) InternTag(name string) FlowTag {
+	if name == "" {
+		return 0
+	}
+	if id, ok := e.tagIndex[name]; ok {
+		return id
+	}
+	if e.tagIndex == nil {
+		e.tagIndex = make(map[string]FlowTag)
+		e.tagNames = append(e.tagNames, "") // reserve the untagged slot
+	}
+	id := FlowTag(len(e.tagNames))
+	e.tagNames = append(e.tagNames, name)
+	e.tagIndex[name] = id
+	return id
+}
+
+// TagName returns the string form of a tag handle ("" for the untagged
+// handle and for handles this Env never issued).
+func (e *Env) TagName(t FlowTag) string {
+	if t <= 0 || int(t) >= len(e.tagNames) {
+		return ""
+	}
+	return e.tagNames[t]
+}
+
+// lookupTag resolves a tag string without interning it.
+func (e *Env) lookupTag(name string) (FlowTag, bool) {
+	if name == "" {
+		return 0, true
+	}
+	id, ok := e.tagIndex[name]
+	return id, ok
+}

@@ -1,31 +1,47 @@
 package stats
 
-import (
-	"math"
-	"sort"
-)
+import "math"
 
 // Sketch is a streaming quantile estimator over positive observations: a
 // log-bucketed histogram in the DDSketch style. A value v lands in bucket
 // ceil(log_gamma(v)); reporting the geometric midpoint of a bucket bounds
 // the relative error of every quantile by alpha, where gamma =
-// (1+alpha)/(1-alpha). Memory is O(buckets actually hit) — for latencies
-// spanning 1µs..100s at alpha=1% that is a few thousand counters at most,
-// independent of the observation count, which is what lets a traffic
-// engine track the latency distribution of millions of requests per tenant
-// without keeping them.
+// (1+alpha)/(1-alpha). Memory is O(bucket index span actually hit) — for
+// latencies spanning 1µs..100s at alpha=1% that is about a thousand
+// counters, independent of the observation count, which is what lets a
+// traffic engine track the latency distribution of millions of requests per
+// tenant without keeping them.
+//
+// Buckets live in a dense counter array indexed relative to the lowest
+// bucket seen, so Add on the hot path is a bounds check and an increment —
+// no hashing, no allocation once the span is established. Quantile results
+// are memoized per (p, revision): the hedging policy queries the same
+// quantile on every request, and between observations the answer cannot
+// change.
 //
 // The sketch is deterministic: Add is pure bucket arithmetic and Quantile
-// iterates buckets in sorted index order, so identical observation
+// scans buckets in ascending index order, so identical observation
 // sequences produce identical reports. stats.Percentile over the raw
 // values is the exact reference oracle (see the differential tests).
 type Sketch struct {
-	gamma    float64
-	invLogG  float64 // 1 / ln(gamma)
-	counts   map[int]uint64
+	gamma   float64
+	invLogG float64 // 1 / ln(gamma)
+
+	// dense[i] counts observations in bucket lo+i. The span grows on demand
+	// at either end; front growth over-allocates a little headroom because
+	// new minima arrive in dribbles.
+	lo    int
+	dense []uint64
+
 	zero     uint64 // observations <= 0 (clamped; latencies should be > 0)
 	n        uint64
 	min, max float64
+
+	// Quantile memo: valid while rev is unchanged since it was stored.
+	rev     uint64
+	memoRev uint64
+	memoP   float64
+	memoV   float64
 }
 
 // DefaultSketchAlpha is the relative-error bound used by the traffic
@@ -44,7 +60,6 @@ func NewSketch(alpha float64) *Sketch {
 	return &Sketch{
 		gamma:   gamma,
 		invLogG: 1 / math.Log(gamma),
-		counts:  map[int]uint64{},
 		min:     math.Inf(1),
 		max:     math.Inf(-1),
 	}
@@ -54,6 +69,7 @@ func NewSketch(alpha float64) *Sketch {
 // bucket (reported as 0 by quantiles below their mass).
 func (s *Sketch) Add(v float64) {
 	s.n++
+	s.rev++
 	if v < s.min {
 		s.min = v
 	}
@@ -64,7 +80,36 @@ func (s *Sketch) Add(v float64) {
 		s.zero++
 		return
 	}
-	s.counts[s.bucket(v)]++
+	idx := s.bucket(v)
+	if i := idx - s.lo; uint(i) < uint(len(s.dense)) {
+		s.dense[i]++ // fast path: span already covers the bucket
+		return
+	}
+	s.bumpSlow(idx)
+}
+
+// bumpSlow extends the dense span to cover idx and counts the observation.
+func (s *Sketch) bumpSlow(idx int) {
+	if len(s.dense) == 0 {
+		s.lo = idx
+		s.dense = make([]uint64, 1, 64)
+		s.dense[0] = 1
+		return
+	}
+	if idx < s.lo {
+		// Grow at the front with headroom: new minima tend to arrive a few
+		// buckets at a time, and each front growth copies the whole span.
+		const headroom = 16
+		shift := s.lo - idx + headroom
+		grown := make([]uint64, len(s.dense)+shift)
+		copy(grown[shift:], s.dense)
+		s.dense = grown
+		s.lo -= shift
+	}
+	for idx-s.lo >= len(s.dense) {
+		s.dense = append(s.dense, 0)
+	}
+	s.dense[idx-s.lo]++
 }
 
 // bucket maps a positive value to its log-bucket index.
@@ -94,11 +139,23 @@ func (s *Sketch) Max() float64 {
 // Quantile returns the estimated p-th percentile (p in 0..100, matching
 // Percentile). Empty sketches return NaN. The estimate for a bucket is its
 // geometric midpoint 2·gamma^i/(gamma+1), clamped to the exact observed
-// [min, max] so extreme quantiles never overshoot the data.
+// [min, max] so extreme quantiles never overshoot the data. Repeated
+// queries for the same p between observations are answered from the memo.
 func (s *Sketch) Quantile(p float64) float64 {
 	if s.n == 0 {
 		return math.NaN()
 	}
+	if s.memoRev == s.rev && s.memoP == p {
+		return s.memoV
+	}
+	v := s.quantileScan(p)
+	s.memoRev = s.rev
+	s.memoP = p
+	s.memoV = v
+	return v
+}
+
+func (s *Sketch) quantileScan(p float64) float64 {
 	// The endpoint quantiles are the exact extremes — they are tracked
 	// precisely, and this also keeps p=0 correct when the zero bucket holds
 	// negative observations.
@@ -118,10 +175,30 @@ func (s *Sketch) Quantile(p float64) float64 {
 		return 0
 	}
 	rem := rank - s.zero
-	for _, idx := range s.sortedBuckets() {
-		cnt := s.counts[idx]
+	if d := s.n - s.zero; rem*2 > d {
+		// High quantile: count down from the top instead of up from the
+		// bottom. The selected bucket a is the smallest index with
+		// prefix(a) >= rem, equivalently the largest with suffix(a) >=
+		// d-rem+1, so both scans pick the same bucket — but for a p99 the
+		// top-down scan touches the tail's few buckets, not the whole span.
+		// The hedging policy asks for a high quantile on every request, which
+		// is what makes this worth the second loop.
+		need := d - rem + 1
+		var tail uint64
+		for i := len(s.dense) - 1; i >= 0; i-- {
+			tail += s.dense[i]
+			if tail >= need {
+				return s.clamp(2 * math.Pow(s.gamma, float64(s.lo+i)) / (s.gamma + 1))
+			}
+		}
+		return s.clamp(s.max)
+	}
+	for i, cnt := range s.dense {
+		if cnt == 0 {
+			continue
+		}
 		if rem <= cnt {
-			return s.clamp(2 * math.Pow(s.gamma, float64(idx)) / (s.gamma + 1))
+			return s.clamp(2 * math.Pow(s.gamma, float64(s.lo+i)) / (s.gamma + 1))
 		}
 		rem -= cnt
 	}
@@ -141,11 +218,12 @@ func (s *Sketch) FractionBelow(v float64) float64 {
 	}
 	below := s.zero
 	if v > 0 {
-		limit := s.bucket(v)
-		for idx, cnt := range s.counts {
-			if idx <= limit {
-				below += cnt
-			}
+		hi := s.bucket(v) - s.lo
+		if hi >= len(s.dense) {
+			hi = len(s.dense) - 1
+		}
+		for i := 0; i <= hi; i++ {
+			below += s.dense[i]
 		}
 	}
 	return float64(below) / float64(s.n)
@@ -160,8 +238,18 @@ func (s *Sketch) Merge(other *Sketch) {
 	if other.gamma != s.gamma {
 		panic("stats: merging sketches with different error bounds")
 	}
-	for idx, cnt := range other.counts {
-		s.counts[idx] += cnt
+	s.rev++
+	for i, cnt := range other.dense {
+		if cnt == 0 {
+			continue
+		}
+		idx := other.lo + i
+		if j := idx - s.lo; uint(j) < uint(len(s.dense)) {
+			s.dense[j] += cnt
+			continue
+		}
+		s.bumpSlow(idx)
+		s.dense[idx-s.lo] += cnt - 1 // bumpSlow already counted one
 	}
 	s.zero += other.zero
 	s.n += other.n
@@ -171,17 +259,6 @@ func (s *Sketch) Merge(other *Sketch) {
 	if other.max > s.max {
 		s.max = other.max
 	}
-}
-
-// sortedBuckets returns the hit bucket indices in ascending order. Sorting
-// at query time keeps Add allocation-free; reports happen once per run.
-func (s *Sketch) sortedBuckets() []int {
-	idxs := make([]int, 0, len(s.counts))
-	for idx := range s.counts {
-		idxs = append(idxs, idx)
-	}
-	sort.Ints(idxs)
-	return idxs
 }
 
 func (s *Sketch) clamp(v float64) float64 {

@@ -44,7 +44,7 @@ func checkInvariants(t *testing.T, tr *TenantReport) {
 func TestResilienceUncongested(t *testing.T) {
 	env, fab, mount := fakeRig(1e9)
 	rep := Run(env, fab, 2, mount, Config{
-		Spec: resilientSpec(500*time.Millisecond, 20*time.Millisecond, 2),
+		Spec:     resilientSpec(500*time.Millisecond, 20*time.Millisecond, 2),
 		Duration: 2 * time.Second, Seed: 1,
 	})
 	tr := &rep.Tenants[0]
@@ -61,7 +61,7 @@ func TestResilienceUncongested(t *testing.T) {
 func TestResilienceDeadlineAndRetries(t *testing.T) {
 	env, fab, mount := fakeRig(2e7) // 20 MB/s against ~100 MB/s offered
 	rep := Run(env, fab, 2, mount, Config{
-		Spec: resilientSpec(50*time.Millisecond, 10*time.Millisecond, 2),
+		Spec:     resilientSpec(50*time.Millisecond, 10*time.Millisecond, 2),
 		Duration: 2 * time.Second, Seed: 1, Drain: true,
 	})
 	tr := &rep.Tenants[0]
@@ -153,7 +153,7 @@ func TestResilienceBrownoutTiers(t *testing.T) {
 			Name: name, Clients: 100_000, Workload: SeqWrite,
 			Arrival:      Arrival{Kind: Poisson, Rate: 2e-3},
 			RequestBytes: 1 << 20, IOBytes: 1 << 20,
-			Priority:     prio,
+			Priority: prio,
 		}
 	}
 	spec := Spec{
@@ -186,7 +186,7 @@ func TestResilienceOutcomeObserver(t *testing.T) {
 	var retries uint64
 	env, fab, mount := fakeRig(2e7)
 	rep := Run(env, fab, 2, mount, Config{
-		Spec: resilientSpec(50*time.Millisecond, 10*time.Millisecond, 2),
+		Spec:     resilientSpec(50*time.Millisecond, 10*time.Millisecond, 2),
 		Duration: 2 * time.Second, Seed: 1, Drain: true,
 		OutcomeObserver: func(ev OutcomeEvent) {
 			counts[ev.Kind]++

@@ -306,135 +306,227 @@ func launchRackShard(g *sim.Group, eng *engineState, racks []Rack, states [][]*r
 	cl fsapi.Client, gen *arrivalGen, node int, end sim.Time, remote float64, placeSeed uint64) {
 	rk := &racks[r]
 	st := states[r][ti]
-	env := rk.Shard.Env()
-	genName := fmt.Sprintf("traffic/%s/r%dgen%d", st.spec.Name, r, node)
-	reqName := fmt.Sprintf("traffic/%s/r%dreq%d", st.spec.Name, r, node)
-	paths := make([]string, reqFiles)
-	remPaths := make([]string, reqFiles)
-	for i := range paths {
+	sh := &rackShard{
+		eng:       eng,
+		st:        st,
+		cl:        cl,
+		node:      node,
+		r:         r,
+		ti:        ti,
+		racks:     racks,
+		states:    states,
+		home:      rk.Shard,
+		resilient: st.spec.Resilience.Enabled() || eng.brown.Enabled(),
+		remote:    remote,
+		place:     stats.NewRNG(placeSeed),
+		reqName:   fmt.Sprintf("traffic/%s/r%dreq%d", st.spec.Name, r, node),
+	}
+	sh.env = rk.Shard.Env()
+	sh.gen = shardGen{gen: gen, end: end}
+	sh.handle = sh.handleArrival
+	for i := range sh.paths {
 		// Local paths use the unsharded engine's namespace (node indices are
 		// rack-local, and each rack is its own backend), so a 1-rack sharded
 		// run reproduces the unsharded byte stream exactly.
-		paths[i] = fmt.Sprintf("/traffic/%s/n%d/f%d", st.spec.Name, node, i)
-		remPaths[i] = fmt.Sprintf("/traffic/%s/rem-r%dn%d/f%d", st.spec.Name, r, node, i)
+		sh.paths[i] = fmt.Sprintf("/traffic/%s/n%d/f%d", st.spec.Name, node, i)
+		sh.remPaths[i] = fmt.Sprintf("/traffic/%s/rem-r%dn%d/f%d", st.spec.Name, r, node, i)
 	}
-	resilient := st.spec.Resilience.Enabled() || eng.brown.Enabled()
-	place := stats.NewRNG(placeSeed)
-	env.Go(genName, func(p *sim.Proc) {
-		var reqIdx uint64
-		for at := gen.next(0); at <= end; at = gen.next(at) {
-			p.SleepUntil(at)
-			st.offered++
-			probe := false
-			if resilient {
-				var ok bool
-				now := p.Now()
-				if ok, probe = st.breaker.Allow(now); !ok {
-					st.shed++
-					st.shedBreaker++
-					continue
-				}
-				if eng.brown.Enabled() && eng.inflight >= eng.brown.Threshold(st.spec.Priority) {
-					st.breaker.Release(probe)
-					st.shed++
-					st.shedBrownout++
-					continue
-				}
-			}
-			if st.capacity > 0 && st.inflight >= st.capacity {
-				st.breaker.Release(probe)
-				st.shed++
-				st.shedAdmission++
-				continue
-			}
-			idx := reqIdx % reqFiles
-			reqIdx++
-			target := r
-			if remote > 0 {
-				// Placement draw: one uniform for the remote decision, one
-				// for the owning rack among the others. Both are consumed
-				// unconditionally so admission backpressure never shifts the
-				// placement stream.
-				u := place.Uint64()
-				v := place.Uint64()
-				if float64(u>>11)/(1<<53) < remote {
-					target = int(v % uint64(len(racks)-1))
-					if target >= r {
-						target++
-					}
-				}
-			}
-			st.inflight++
-			eng.inflight++
-			if target == r {
-				path := paths[idx]
-				if resilient {
-					flowID := (uint64(node)+1)*0x9e3779b97f4a7c15 + reqIdx
-					pr := probe
-					env.Go(reqName, func(rp *sim.Proc) {
-						pl := st.spec.Resilience
-						hd := pl.Hedge.Delay(st.sketch)
-						req := resilience.Request{FlowID: flowID, Attempt: func(ap *sim.Proc) {
-							serveRequest(ap, cl, st.spec, path)
-						}}
-						out := resilience.Execute(rp, pl, req, hd, st.breaker)
-						st.inflight--
-						eng.inflight--
-						st.retries += uint64(out.Retries)
-						st.hedges += uint64(out.Hedges)
-						st.hedgeWins += uint64(out.HedgeWins)
-						if !out.OK {
-							st.breaker.Failure(rp.Now(), pr)
-							st.shed++
-							st.deadlineMiss++
-							return
-						}
-						st.breaker.Success(pr)
-						st.complete++
-						st.sketch.Add(out.Elapsed.Seconds())
-						if st.keep {
-							st.lats = append(st.lats, out.Elapsed.Seconds())
-						}
-					})
-					continue
-				}
-				env.Go(reqName, func(rp *sim.Proc) {
-					start := rp.Now()
-					serveRequest(rp, cl, st.spec, path)
-					st.inflight--
-					eng.inflight--
-					st.complete++
-					lat := rp.Now().Sub(start).Seconds()
-					st.sketch.Add(lat)
-					if st.keep {
-						st.lats = append(st.lats, lat)
-					}
-				})
-				continue
-			}
-			// Forwarded request: baseline path; the probe grant (if any) is
-			// unused — hand it back so half-open probe slots never leak to
-			// requests whose outcome the breaker will not see.
-			st.breaker.Release(probe)
-			start := env.Now()
-			path := remPaths[idx]
-			home, owner := rk.Shard, racks[target].Shard
-			remoteSt := states[target][ti]
-			home.Send(owner, 0, func() {
-				owner.Env().Go(reqName+"@rem", func(rp *sim.Proc) {
-					serveRequest(rp, remoteSt.remoteMount, st.spec, path)
-					owner.Send(home, 0, func() {
-						st.inflight--
-						eng.inflight--
-						st.complete++
-						lat := home.Env().Now().Sub(start).Seconds()
-						st.sketch.Add(lat)
-						if st.keep {
-							st.lats = append(st.lats, lat)
-						}
-					})
-				})
-			})
+	sh.arm()
+}
+
+// rackShard drives one tenant×rack×node shard: the sharded-engine analog of
+// reqShard — the same batched arrival tick and pooled request records for
+// rack-local requests; forwarded remote requests keep their per-request
+// message closures (they cross domain boundaries, which pooling cannot).
+type rackShard struct {
+	arrivalTick
+	eng       *engineState
+	st        *rackTenant
+	cl        fsapi.Client
+	node      int
+	r, ti     int
+	racks     []Rack
+	states    [][]*rackTenant
+	home      *sim.Shard
+	resilient bool
+	remote    float64
+	place     *stats.RNG
+	reqName   string
+	paths     [reqFiles]string
+	remPaths  [reqFiles]string
+	reqIdx    uint64
+	free      []*rackRec
+}
+
+// handleArrival mirrors the sharded engine's historical admission chain
+// exactly: breaker and brownout only for resilient tenants, the rack-local
+// cap for everyone, every admitted request counted against the rack-wide
+// brownout gauge, and placement draws consumed unconditionally once
+// admitted so backpressure never shifts the placement stream.
+func (sh *rackShard) handleArrival(now sim.Time) {
+	st, eng := sh.st, sh.eng
+	st.offered++
+	probe := false
+	if sh.resilient {
+		var ok bool
+		if ok, probe = st.breaker.Allow(now); !ok {
+			st.shed++
+			st.shedBreaker++
+			return
 		}
+		if eng.brown.Enabled() && eng.inflight >= eng.brown.Threshold(st.spec.Priority) {
+			st.breaker.Release(probe)
+			st.shed++
+			st.shedBrownout++
+			return
+		}
+	}
+	if st.capacity > 0 && st.inflight >= st.capacity {
+		st.breaker.Release(probe)
+		st.shed++
+		st.shedAdmission++
+		return
+	}
+	idx := sh.reqIdx % reqFiles
+	sh.reqIdx++
+	target := sh.r
+	if sh.remote > 0 {
+		// Placement draw: one uniform for the remote decision, one for the
+		// owning rack among the others.
+		u := sh.place.Uint64()
+		v := sh.place.Uint64()
+		if float64(u>>11)/(1<<53) < sh.remote {
+			target = int(v % uint64(len(sh.racks)-1))
+			if target >= sh.r {
+				target++
+			}
+		}
+	}
+	st.inflight++
+	eng.inflight++
+	if target == sh.r {
+		rec := sh.getRec()
+		rec.path = sh.paths[idx]
+		rec.probe = probe
+		if sh.resilient {
+			rec.call.FlowID = (uint64(sh.node)+1)*0x9e3779b97f4a7c15 + sh.reqIdx
+		}
+		sh.env.GoPooled(sh.reqName, rec.runFn)
+		return
+	}
+	// Forwarded request: baseline path; the probe grant (if any) is
+	// unused — hand it back so half-open probe slots never leak to
+	// requests whose outcome the breaker will not see.
+	st.breaker.Release(probe)
+	start := sh.env.Now()
+	path := sh.remPaths[idx]
+	home, owner := sh.home, sh.racks[target].Shard
+	remoteSt := sh.states[target][sh.ti]
+	keep := st.keep
+	home.Send(owner, 0, func() {
+		owner.Env().Go(sh.reqName+"@rem", func(rp *sim.Proc) {
+			serveRequest(rp, remoteSt.remoteMount, st.spec, path)
+			owner.Send(home, 0, func() {
+				st.inflight--
+				eng.inflight--
+				st.complete++
+				lat := home.Env().Now().Sub(start).Seconds()
+				st.sketch.Add(lat)
+				if keep {
+					st.lats = append(st.lats, lat)
+				}
+			})
+		})
 	})
+}
+
+// rackRec is the sharded engine's pooled request lifecycle for rack-local
+// requests (see reqRec for the pooling contract).
+type rackRec struct {
+	sh    *rackShard
+	gen   uint64
+	freed bool
+	path  string
+	probe bool
+	runFn func(rp *sim.Proc)
+	call  resilience.Call
+}
+
+func (sh *rackShard) getRec() *rackRec {
+	if n := len(sh.free); n > 0 {
+		rec := sh.free[n-1]
+		sh.free[n-1] = nil
+		sh.free = sh.free[:n-1]
+		rec.freed = false
+		return rec
+	}
+	rec := &rackRec{sh: sh}
+	if sh.resilient {
+		rec.runFn = rec.runResilient
+		rec.call.Attempt = func(ap *sim.Proc) { serveRequest(ap, sh.cl, sh.st.spec, rec.path) }
+		rec.call.OnIdle = func() { sh.freeRec(rec) }
+	} else {
+		rec.runFn = rec.runLegacy
+	}
+	return rec
+}
+
+func (sh *rackShard) freeRec(rec *rackRec) {
+	if rec.freed {
+		panic("traffic: double release of pooled request record")
+	}
+	rec.freed = true
+	rec.gen++
+	sh.free = append(sh.free, rec)
+}
+
+func (rec *rackRec) release() {
+	if rec.sh.resilient && !rec.call.Idle() {
+		rec.call.DeferRelease()
+		return
+	}
+	rec.sh.freeRec(rec)
+}
+
+func (rec *rackRec) runLegacy(rp *sim.Proc) {
+	sh := rec.sh
+	st := sh.st
+	start := rp.Now()
+	serveRequest(rp, sh.cl, st.spec, rec.path)
+	st.inflight--
+	sh.eng.inflight--
+	st.complete++
+	lat := rp.Now().Sub(start).Seconds()
+	st.sketch.Add(lat)
+	if st.keep {
+		st.lats = append(st.lats, lat)
+	}
+	rec.release()
+}
+
+func (rec *rackRec) runResilient(rp *sim.Proc) {
+	sh := rec.sh
+	st := sh.st
+	pl := st.spec.Resilience
+	hd := pl.Hedge.Delay(st.sketch)
+	out := resilience.ExecuteCall(rp, pl, &rec.call, hd, st.breaker)
+	st.inflight--
+	sh.eng.inflight--
+	st.retries += uint64(out.Retries)
+	st.hedges += uint64(out.Hedges)
+	st.hedgeWins += uint64(out.HedgeWins)
+	if !out.OK {
+		st.breaker.Failure(rp.Now(), rec.probe)
+		st.shed++
+		st.deadlineMiss++
+		rec.release()
+		return
+	}
+	st.breaker.Success(rec.probe)
+	st.complete++
+	st.sketch.Add(out.Elapsed.Seconds())
+	if st.keep {
+		st.lats = append(st.lats, out.Elapsed.Seconds())
+	}
+	rec.release()
 }

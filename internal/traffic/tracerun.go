@@ -182,55 +182,136 @@ func ReplayTrace(env *sim.Env, fab *sim.Fabric, nodes int, mount func(tenant str
 	return rep
 }
 
-// launchTraceShard starts the dispatcher process of one tenant×node shard
-// of the recorded stream.
+// launchTraceShard arms the dispatcher tick of one tenant×node shard of
+// the recorded stream.
 func launchTraceShard(env *sim.Env, st *tenantState, cl fsapi.Client, sh *traceShard, ioBytes int64, obs func(trace.Event), end *sim.Time) {
-	genName := fmt.Sprintf("replay/%s/gen%d", sh.tenant, sh.node)
-	reqName := fmt.Sprintf("replay/%s/req%d", sh.tenant, sh.node)
-	pathBase := fmt.Sprintf("/replay/%s/n%d/f", sh.tenant, sh.node)
-	paths := make([]string, reqFiles)
-	for i := range paths {
-		paths[i] = fmt.Sprintf("%s%d", pathBase, i)
+	rs := &replayShard{
+		env:     env,
+		st:      st,
+		cl:      cl,
+		tr:      sh,
+		ioBytes: ioBytes,
+		obs:     obs,
+		end:     end,
+		reqName: fmt.Sprintf("replay/%s/req%d", sh.tenant, sh.node),
 	}
-	env.Go(genName, func(p *sim.Proc) {
-		var reqIdx uint64
-		for _, ev := range sh.events {
-			p.SleepUntil(ev.At)
-			st.offered++
-			if st.capacity > 0 && st.inflight >= st.capacity {
-				st.shed++
-				continue
-			}
-			st.inflight++
-			path := ev.File
-			if path == "" {
-				path = paths[reqIdx%reqFiles]
-			}
-			reqIdx++
-			env.Go(reqName, func(rp *sim.Proc) {
-				start := rp.Now()
-				serveEvent(rp, cl, ev, ioBytes, path)
-				st.inflight--
-				st.complete++
-				st.payload += float64(ev.Bytes)
-				lat := rp.Now().Sub(start)
-				st.sketch.Add(lat.Seconds())
-				if st.keep {
-					st.lats = append(st.lats, lat.Seconds())
-				}
-				if rp.Now() > *end {
-					*end = rp.Now()
-				}
-				if obs != nil {
-					out := ev
-					out.Latency = lat
-					out.Rank = sh.node
-					out.File = path
-					obs(out)
-				}
-			})
+	for i := range rs.paths {
+		rs.paths[i] = fmt.Sprintf("/replay/%s/n%d/f%d", sh.tenant, sh.node, i)
+	}
+	rs.fn = rs.tick
+	if len(sh.events) > 0 {
+		at := sh.events[0].At
+		if now := env.Now(); at < now {
+			at = now
 		}
-	})
+		env.AfterFunc(at.Sub(env.Now()), rs.fn)
+	}
+}
+
+// replayShard drives one tenant×node slice of the recorded stream: the
+// replay analog of reqShard — a batched dispatcher tick plus pooled request
+// records. Recorded streams carry timestamp ties (concurrent ranks), so the
+// tick's inner loop dispatches every event with at <= now before re-arming,
+// preserving the exact spawn order of the per-event dispatcher it replaced.
+type replayShard struct {
+	env     *sim.Env
+	st      *tenantState
+	cl      fsapi.Client
+	tr      *traceShard
+	ioBytes int64
+	obs     func(trace.Event)
+	end     *sim.Time
+	reqName string
+	paths   [reqFiles]string
+	reqIdx  uint64
+	pos     int
+	free    []*replayRec
+	fn      func()
+}
+
+func (sh *replayShard) tick() {
+	now := sh.env.Now()
+	for sh.pos < len(sh.tr.events) {
+		ev := sh.tr.events[sh.pos]
+		if ev.At > now {
+			sh.env.AfterFunc(ev.At.Sub(now), sh.fn)
+			return
+		}
+		sh.pos++
+		sh.handleArrival(ev)
+	}
+}
+
+func (sh *replayShard) handleArrival(ev trace.Event) {
+	st := sh.st
+	st.offered++
+	if st.capacity > 0 && st.inflight >= st.capacity {
+		st.shed++
+		return
+	}
+	st.inflight++
+	path := ev.File
+	if path == "" {
+		path = sh.paths[sh.reqIdx%reqFiles]
+	}
+	sh.reqIdx++
+	rec := sh.getRec()
+	rec.ev = ev
+	rec.path = path
+	sh.env.GoPooled(sh.reqName, rec.runFn)
+}
+
+// replayRec is the replay engine's pooled request lifecycle (no resilience
+// machinery: replayed requests run the baseline serve path).
+type replayRec struct {
+	sh    *replayShard
+	freed bool
+	ev    trace.Event
+	path  string
+	runFn func(rp *sim.Proc)
+}
+
+func (sh *replayShard) getRec() *replayRec {
+	if n := len(sh.free); n > 0 {
+		rec := sh.free[n-1]
+		sh.free[n-1] = nil
+		sh.free = sh.free[:n-1]
+		rec.freed = false
+		return rec
+	}
+	rec := &replayRec{sh: sh}
+	rec.runFn = rec.run
+	return rec
+}
+
+func (rec *replayRec) run(rp *sim.Proc) {
+	sh := rec.sh
+	st := sh.st
+	start := rp.Now()
+	serveEvent(rp, sh.cl, rec.ev, sh.ioBytes, rec.path)
+	st.inflight--
+	st.complete++
+	st.payload += float64(rec.ev.Bytes)
+	lat := rp.Now().Sub(start)
+	st.sketch.Add(lat.Seconds())
+	if st.keep {
+		st.lats = append(st.lats, lat.Seconds())
+	}
+	if rp.Now() > *sh.end {
+		*sh.end = rp.Now()
+	}
+	if sh.obs != nil {
+		out := rec.ev
+		out.Latency = lat
+		out.Rank = sh.tr.node
+		out.File = rec.path
+		sh.obs(out)
+	}
+	if rec.freed {
+		panic("traffic: double release of pooled request record")
+	}
+	rec.freed = true
+	sh.free = append(sh.free, rec)
 }
 
 // serveEvent performs one recorded request's I/O on the tenant's mount.

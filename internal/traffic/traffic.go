@@ -303,163 +303,363 @@ func sketchDur(s *stats.Sketch, p float64) sim.Duration {
 	return sim.Duration(q * 1e9)
 }
 
-// launchShard starts the generator process of one tenant×node shard.
-// Tenants without a resilience policy (and specs without brownout) take
-// the legacy path below, byte-identical to the engine before the policy
-// layer existed; resilient tenants route through admitResilient.
-func launchShard(env *sim.Env, eng *engineState, st *tenantState, cl fsapi.Client, gen *arrivalGen, node int, end sim.Time) {
-	genName := fmt.Sprintf("traffic/%s/gen%d", st.spec.Name, node)
-	reqName := fmt.Sprintf("traffic/%s/req%d", st.spec.Name, node)
-	pathBase := fmt.Sprintf("/traffic/%s/n%d/f", st.spec.Name, node)
-	paths := make([]string, reqFiles)
-	for i := range paths {
-		paths[i] = fmt.Sprintf("%s%d", pathBase, i)
-	}
-	resilient := st.spec.Resilience.Enabled() || eng.brown.Enabled()
-	env.Go(genName, func(p *sim.Proc) {
-		var reqIdx uint64
-		for at := gen.next(0); at <= end; at = gen.next(at) {
-			p.SleepUntil(at)
-			st.offered++
-			if resilient {
-				reqIdx = admitResilient(env, eng, st, cl, p, reqName, paths, node, reqIdx)
-				continue
-			}
-			// Queue-depth backpressure: beyond the cap the request is shed,
-			// never queued — an open-loop client that cannot be admitted has
-			// already missed its deadline.
-			if st.capacity > 0 && st.inflight >= st.capacity {
-				st.shed++
-				st.shedAdmission++
-				st.shedEvent(p.Now(), OutcomeShedAdmission)
-				continue
-			}
-			st.inflight++
-			path := paths[reqIdx%reqFiles]
-			reqIdx++
-			env.Go(reqName, func(rp *sim.Proc) {
-				start := rp.Now()
-				serveRequest(rp, cl, st.spec, path)
-				st.inflight--
-				st.complete++
-				st.payload += float64(st.spec.RequestBytes)
-				d := rp.Now().Sub(start)
-				st.sketch.Add(d.Seconds())
-				if st.keep {
-					st.lats = append(st.lats, d.Seconds())
-				}
-				if st.obs != nil {
-					st.obs(trace.Event{
-						At:      start,
-						Tenant:  st.spec.Name,
-						Op:      workloadOp(st.spec.Workload),
-						Bytes:   st.spec.RequestBytes,
-						IO:      ioBytesOf(st.spec),
-						Latency: d,
-						Rank:    node,
-						File:    path,
-					})
-				}
-				if st.outObs != nil {
-					st.outObs(OutcomeEvent{
-						At: rp.Now(), Tenant: st.spec.Name,
-						Kind: OutcomeCompleted, Bytes: st.spec.RequestBytes,
-					})
-				}
-			})
+// arrivalChunk is the number of arrival timestamps a shard pre-draws per
+// refill of its ring. The draws come from the shard-private RNG in exactly
+// the order the old one-draw-per-wakeup generator made them, so the
+// timestamp sequence is bit-identical; chunking only amortizes the
+// dispatch.
+const arrivalChunk = 64
+
+// shardGen feeds one shard's arrival timestamps from a chunked pre-drawn
+// ring. The underlying arrivalGen is consulted in the same next(prev)
+// sequence the per-request generator loop used (including the final
+// beyond-window draw that terminates the stream).
+type shardGen struct {
+	gen  *arrivalGen
+	end  sim.Time
+	buf  [arrivalChunk]sim.Time
+	idx  int
+	n    int
+	last sim.Time
+	done bool
+}
+
+func (sg *shardGen) fill() {
+	sg.idx, sg.n = 0, 0
+	for sg.n < len(sg.buf) {
+		at := sg.gen.next(sg.last)
+		sg.last = at
+		if at > sg.end {
+			sg.done = true
+			return
 		}
-	})
+		sg.buf[sg.n] = at
+		sg.n++
+	}
+}
+
+// peek returns the next arrival time without consuming it; ok is false once
+// the stream passed the window end.
+func (sg *shardGen) peek() (at sim.Time, ok bool) {
+	if sg.idx >= sg.n {
+		if sg.done {
+			return 0, false
+		}
+		sg.fill()
+		if sg.n == 0 {
+			return 0, false
+		}
+	}
+	return sg.buf[sg.idx], true
+}
+
+func (sg *shardGen) pop() { sg.idx++ }
+
+// arrivalTick turns a shard's arrival stream into a self-re-arming calendar
+// callback: one pooled timer event per arrival, no generator process. The
+// tick admits every pending arrival with at <= now (recorded streams carry
+// ties; stochastic streams are strictly increasing), then re-arms itself
+// for the next future arrival. The handler runs on the scheduler's stack —
+// it must not block.
+type arrivalTick struct {
+	env    *sim.Env
+	gen    shardGen
+	handle func(now sim.Time)
+	fn     func() // tick bound once; re-armed for every future arrival
+}
+
+func (tk *arrivalTick) tick() {
+	now := tk.env.Now()
+	for {
+		at, ok := tk.gen.peek()
+		if !ok {
+			return
+		}
+		if at > now {
+			tk.env.AfterFunc(at.Sub(now), tk.fn)
+			return
+		}
+		tk.gen.pop()
+		tk.handle(now)
+	}
+}
+
+// arm schedules the shard's first tick (called once at setup).
+func (tk *arrivalTick) arm() {
+	at, ok := tk.gen.peek()
+	if !ok {
+		return
+	}
+	now := tk.env.Now()
+	if at < now {
+		at = now
+	}
+	tk.fn = tk.tick
+	tk.env.AfterFunc(at.Sub(now), tk.fn)
+}
+
+// reqShard drives one tenant×node shard of the single-fabric engine: a
+// batched arrival tick plus a free list of request records, so the steady
+// request path allocates nothing.
+type reqShard struct {
+	arrivalTick
+	eng       *engineState
+	st        *tenantState
+	cl        fsapi.Client
+	node      int
+	resilient bool
+	// countEng mirrors the historical accounting split: the sharded engine
+	// counts every admitted request against the run-wide brownout gauge,
+	// the single-fabric legacy path never did.
+	countEng bool
+	reqName  string
+	paths    [reqFiles]string
+	reqIdx   uint64
+	free     []*reqRec
+}
+
+// handleArrival runs the admission chain for one arrival and, when
+// admitted, spawns the request body on a pooled process with a pooled
+// record. The legacy path (no resilience policy, no brownout) stays
+// byte-identical to the engine before the policy layer existed: queue-depth
+// backpressure only — beyond the cap the request is shed, never queued.
+func (sh *reqShard) handleArrival(now sim.Time) {
+	st := sh.st
+	st.offered++
+	if sh.resilient {
+		sh.admitResilient(now)
+		return
+	}
+	if st.capacity > 0 && st.inflight >= st.capacity {
+		st.shed++
+		st.shedAdmission++
+		st.shedEvent(now, OutcomeShedAdmission)
+		return
+	}
+	st.inflight++
+	if sh.countEng {
+		sh.eng.inflight++
+	}
+	rec := sh.getRec()
+	rec.path = sh.paths[sh.reqIdx%reqFiles]
+	sh.reqIdx++
+	sh.env.GoPooled(sh.reqName, rec.runFn)
 }
 
 // admitResilient runs the policy-layer admission chain for one arrival —
 // breaker, then brownout tiers, then the per-tenant cap, in that order
 // (cheapest refusal first; a breaker grant consumed by a later stage is
 // handed back with Release so probe slots are never leaked) — and, when
-// admitted, spawns the request coordinator. It returns the advanced
-// request index.
-func admitResilient(env *sim.Env, eng *engineState, st *tenantState, cl fsapi.Client, p *sim.Proc, reqName string, paths []string, node int, reqIdx uint64) uint64 {
-	now := p.Now()
+// admitted, spawns the request coordinator.
+func (sh *reqShard) admitResilient(now sim.Time) {
+	st, eng := sh.st, sh.eng
 	ok, probe := st.breaker.Allow(now)
 	if !ok {
 		st.shed++
 		st.shedBreaker++
 		st.shedEvent(now, OutcomeShedBreaker)
-		return reqIdx
+		return
 	}
 	if eng.brown.Enabled() && eng.inflight >= eng.brown.Threshold(st.spec.Priority) {
 		st.breaker.Release(probe)
 		st.shed++
 		st.shedBrownout++
 		st.shedEvent(now, OutcomeShedBrownout)
-		return reqIdx
+		return
 	}
 	if st.capacity > 0 && st.inflight >= st.capacity {
 		st.breaker.Release(probe)
 		st.shed++
 		st.shedAdmission++
 		st.shedEvent(now, OutcomeShedAdmission)
-		return reqIdx
+		return
 	}
 	st.inflight++
 	eng.inflight++
-	path := paths[reqIdx%reqFiles]
-	reqIdx++
+	rec := sh.getRec()
+	rec.path = sh.paths[sh.reqIdx%reqFiles]
+	sh.reqIdx++
+	rec.probe = probe
 	// The backoff jitter stream is per request: distinct shards (and
 	// successive requests of one shard) must desynchronize, so the flow id
 	// mixes the shard index with the shard-local sequence number.
-	flowID := (uint64(node)+1)*0x9e3779b97f4a7c15 + reqIdx
-	env.Go(reqName, func(rp *sim.Proc) {
-		start := rp.Now()
-		pl := st.spec.Resilience
-		hd := pl.Hedge.Delay(st.sketch)
-		req := resilience.Request{FlowID: flowID, Attempt: func(ap *sim.Proc) {
-			serveRequest(ap, cl, st.spec, path)
-		}}
-		out := resilience.Execute(rp, pl, req, hd, st.breaker)
-		st.inflight--
-		eng.inflight--
-		st.retries += uint64(out.Retries)
-		st.hedges += uint64(out.Hedges)
-		st.hedgeWins += uint64(out.HedgeWins)
-		if !out.OK {
-			st.breaker.Failure(rp.Now(), probe)
-			st.shed++
-			st.deadlineMiss++
-			if st.outObs != nil {
-				st.outObs(OutcomeEvent{
-					At: rp.Now(), Tenant: st.spec.Name, Kind: OutcomeDeadlineMiss,
-					Bytes: st.spec.RequestBytes, Retries: out.Retries, Hedges: out.Hedges,
-				})
-			}
-			return
-		}
-		st.breaker.Success(probe)
-		st.complete++
-		st.payload += float64(st.spec.RequestBytes)
-		st.sketch.Add(out.Elapsed.Seconds())
-		if st.keep {
-			st.lats = append(st.lats, out.Elapsed.Seconds())
-		}
-		if st.obs != nil {
-			st.obs(trace.Event{
-				At:      start,
-				Tenant:  st.spec.Name,
-				Op:      workloadOp(st.spec.Workload),
-				Bytes:   st.spec.RequestBytes,
-				IO:      ioBytesOf(st.spec),
-				Latency: out.Elapsed,
-				Rank:    node,
-				File:    path,
-			})
-		}
+	rec.call.FlowID = (uint64(sh.node)+1)*0x9e3779b97f4a7c15 + sh.reqIdx
+	sh.env.GoPooled(sh.reqName, rec.runFn)
+}
+
+// reqRec is one pooled request lifecycle: arrival/admission state, the
+// resilience call record (completion event, abort tokens, attempt
+// closures), and the request body closure, recycled through the shard's
+// free list. The generation counter makes stale references detectable in
+// the pool-hardening tests; freed guards double release.
+type reqRec struct {
+	sh    *reqShard
+	gen   uint64
+	freed bool
+	path  string
+	probe bool
+	runFn func(rp *sim.Proc)
+	call  resilience.Call
+}
+
+// getRec draws a record from the shard pool, creating (and binding its
+// closures, once) on first use.
+func (sh *reqShard) getRec() *reqRec {
+	if n := len(sh.free); n > 0 {
+		rec := sh.free[n-1]
+		sh.free[n-1] = nil
+		sh.free = sh.free[:n-1]
+		rec.freed = false
+		return rec
+	}
+	rec := &reqRec{sh: sh}
+	if sh.resilient {
+		rec.runFn = rec.runResilient
+		rec.call.Attempt = func(ap *sim.Proc) { serveRequest(ap, sh.cl, sh.st.spec, rec.path) }
+		rec.call.OnIdle = func() { sh.freeRec(rec) }
+	} else {
+		rec.runFn = rec.runLegacy
+	}
+	return rec
+}
+
+// freeRec returns a record to the pool. Double release is always a
+// lifecycle bug, so it panics.
+func (sh *reqShard) freeRec(rec *reqRec) {
+	if rec.freed {
+		panic("traffic: double release of pooled request record")
+	}
+	rec.freed = true
+	rec.gen++
+	sh.free = append(sh.free, rec)
+}
+
+// release recycles the record once nothing references it. A cancelled
+// hedge/deadline loser can outlive its coordinator (it unwinds at its next
+// cancellation point), so a resilient record with live attempts defers to
+// the call's OnIdle hook instead of recycling immediately.
+func (rec *reqRec) release() {
+	if rec.sh.resilient && !rec.call.Idle() {
+		rec.call.DeferRelease()
+		return
+	}
+	rec.sh.freeRec(rec)
+}
+
+// runLegacy is the request body of a non-resilient tenant.
+func (rec *reqRec) runLegacy(rp *sim.Proc) {
+	sh := rec.sh
+	st := sh.st
+	start := rp.Now()
+	serveRequest(rp, sh.cl, st.spec, rec.path)
+	st.inflight--
+	if sh.countEng {
+		sh.eng.inflight--
+	}
+	st.complete++
+	st.payload += float64(st.spec.RequestBytes)
+	d := rp.Now().Sub(start)
+	st.sketch.Add(d.Seconds())
+	if st.keep {
+		st.lats = append(st.lats, d.Seconds())
+	}
+	if st.obs != nil {
+		st.obs(trace.Event{
+			At:      start,
+			Tenant:  st.spec.Name,
+			Op:      workloadOp(st.spec.Workload),
+			Bytes:   st.spec.RequestBytes,
+			IO:      ioBytesOf(st.spec),
+			Latency: d,
+			Rank:    sh.node,
+			File:    rec.path,
+		})
+	}
+	if st.outObs != nil {
+		st.outObs(OutcomeEvent{
+			At: rp.Now(), Tenant: st.spec.Name,
+			Kind: OutcomeCompleted, Bytes: st.spec.RequestBytes,
+		})
+	}
+	rec.release()
+}
+
+// runResilient is the request coordinator of a resilient tenant: it runs
+// the pooled call under the tenant policy and settles terminal breaker and
+// outcome accounting.
+func (rec *reqRec) runResilient(rp *sim.Proc) {
+	sh := rec.sh
+	st := sh.st
+	start := rp.Now()
+	pl := st.spec.Resilience
+	hd := pl.Hedge.Delay(st.sketch)
+	out := resilience.ExecuteCall(rp, pl, &rec.call, hd, st.breaker)
+	st.inflight--
+	sh.eng.inflight--
+	st.retries += uint64(out.Retries)
+	st.hedges += uint64(out.Hedges)
+	st.hedgeWins += uint64(out.HedgeWins)
+	if !out.OK {
+		st.breaker.Failure(rp.Now(), rec.probe)
+		st.shed++
+		st.deadlineMiss++
 		if st.outObs != nil {
 			st.outObs(OutcomeEvent{
-				At: rp.Now(), Tenant: st.spec.Name, Kind: OutcomeCompleted,
+				At: rp.Now(), Tenant: st.spec.Name, Kind: OutcomeDeadlineMiss,
 				Bytes: st.spec.RequestBytes, Retries: out.Retries, Hedges: out.Hedges,
 			})
 		}
-	})
-	return reqIdx
+		rec.release()
+		return
+	}
+	st.breaker.Success(rec.probe)
+	st.complete++
+	st.payload += float64(st.spec.RequestBytes)
+	st.sketch.Add(out.Elapsed.Seconds())
+	if st.keep {
+		st.lats = append(st.lats, out.Elapsed.Seconds())
+	}
+	if st.obs != nil {
+		st.obs(trace.Event{
+			At:      start,
+			Tenant:  st.spec.Name,
+			Op:      workloadOp(st.spec.Workload),
+			Bytes:   st.spec.RequestBytes,
+			IO:      ioBytesOf(st.spec),
+			Latency: out.Elapsed,
+			Rank:    sh.node,
+			File:    rec.path,
+		})
+	}
+	if st.outObs != nil {
+		st.outObs(OutcomeEvent{
+			At: rp.Now(), Tenant: st.spec.Name, Kind: OutcomeCompleted,
+			Bytes: st.spec.RequestBytes, Retries: out.Retries, Hedges: out.Hedges,
+		})
+	}
+	rec.release()
+}
+
+// launchShard arms the arrival tick of one tenant×node shard. Tenants
+// without a resilience policy (and specs without brownout) take the legacy
+// admission path, byte-identical to the engine before the policy layer
+// existed; resilient tenants route through admitResilient.
+func launchShard(env *sim.Env, eng *engineState, st *tenantState, cl fsapi.Client, gen *arrivalGen, node int, end sim.Time) {
+	sh := &reqShard{
+		eng:       eng,
+		st:        st,
+		cl:        cl,
+		node:      node,
+		resilient: st.spec.Resilience.Enabled() || eng.brown.Enabled(),
+		reqName:   fmt.Sprintf("traffic/%s/req%d", st.spec.Name, node),
+	}
+	sh.env = env
+	sh.gen = shardGen{gen: gen, end: end}
+	sh.handle = sh.handleArrival
+	for i := range sh.paths {
+		sh.paths[i] = fmt.Sprintf("/traffic/%s/n%d/f%d", st.spec.Name, node, i)
+	}
+	sh.arm()
 }
 
 // ioBytesOf is the per-op transfer size a recording should carry for a

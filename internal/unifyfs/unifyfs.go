@@ -182,8 +182,11 @@ type client struct {
 	node *nodeState
 	idx  int
 
-	// tag attributes this mount's fabric traffic (fsapi.FlowTagger).
-	tag string
+	// tag attributes this mount's fabric traffic (fsapi.FlowTagger); tagID
+	// caches its interned handle (valid while tagFor == tag).
+	tag    string
+	tagID  sim.FlowTag
+	tagFor string
 
 	// Per-owner interconnect paths, cached on first use (chunk sweeps hit
 	// the same few owners over and over); indexed by owner node, one slice
@@ -205,8 +208,15 @@ func (c *client) DropCaches() {}
 func (c *client) SetFlowTag(tag string) { c.tag = tag }
 
 // stamp applies the mount's flow tag to the calling process at every
-// data-path entry (see fsbase.ClientCore.Stamp for the convention).
-func (c *client) stamp(p *sim.Proc) { p.SetFlowTag(c.tag) }
+// data-path entry (see fsbase.ClientCore.Stamp for the convention). The
+// interned handle is cached so the per-op stamp is an integer write.
+func (c *client) stamp(p *sim.Proc) {
+	if c.tagFor != c.tag {
+		c.tagID = p.Env().InternTag(c.tag)
+		c.tagFor = c.tag
+	}
+	p.SetFlowTagID(c.tagID)
+}
 
 // Remove implements fsapi.Client.
 func (c *client) Remove(p *sim.Proc, path string) {
