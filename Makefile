@@ -10,9 +10,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test race reference-smoke bench-smoke bench-diff fuzz-smoke chaos-smoke parallel-smoke fidelity-smoke resilience-smoke bench test-all
+.PHONY: check vet build test race reference-smoke bench-smoke bench-diff fuzz-smoke chaos-smoke parallel-smoke fidelity-smoke resilience-smoke whatif-smoke bench test-all
 
-check: vet build race reference-smoke bench-smoke bench-diff fuzz-smoke chaos-smoke parallel-smoke fidelity-smoke resilience-smoke
+check: vet build race reference-smoke bench-smoke bench-diff fuzz-smoke chaos-smoke parallel-smoke fidelity-smoke resilience-smoke whatif-smoke
 
 vet:
 	$(GO) vet ./...
@@ -27,7 +27,8 @@ race:
 	$(GO) test -race ./internal/sim/... ./internal/experiments/... \
 		./internal/faults/... ./internal/vast/... ./internal/repair/... \
 		./internal/traffic/... ./internal/trace/... ./internal/fidelity/... \
-		./internal/resilience/...
+		./internal/resilience/... ./internal/configsearch/... \
+		./internal/surrogate/...
 	$(GO) test -race -tags simreference ./internal/sim/
 
 # The -tags simreference build swaps the DES kernel's calendar queue for the
@@ -41,6 +42,7 @@ bench-smoke:
 	$(GO) test ./internal/sim/ -run XXX -bench BenchmarkFabricSolver -benchtime=1x
 	$(GO) test . -run XXX -bench 'BenchmarkKernel' -benchtime=1x
 	$(GO) test ./internal/traffic -run XXX -bench 'BenchmarkTrafficEngine|BenchmarkResilienceOverhead' -benchtime=1x
+	$(GO) test ./internal/surrogate -run XXX -bench BenchmarkSurrogateScore -benchtime=1x
 
 # Regression gate over the recorded traffic-path benchmarks: a short fresh
 # run of the hot-path benches diffed against the checked-in BENCH_traffic.json.
@@ -50,7 +52,8 @@ bench-smoke:
 # BENCHDIFF_TOLERANCE=0.10 when comparing runs on one machine.
 BENCHDIFF_TOLERANCE ?= 0.5
 bench-diff:
-	$(GO) test ./internal/traffic -run XXX -bench 'BenchmarkTrafficEngine|BenchmarkResilienceOverhead' -benchtime=100000x -benchmem \
+	( $(GO) test ./internal/traffic -run XXX -bench 'BenchmarkTrafficEngine|BenchmarkResilienceOverhead' -benchtime=100000x -benchmem ; \
+	  $(GO) test ./internal/surrogate -run XXX -bench BenchmarkSurrogateScore -benchtime=100000x -benchmem ) \
 	| $(GO) run ./cmd/benchjson -o /tmp/storagesim-bench-diff.json
 	$(GO) run ./cmd/benchjson -diff -threshold $(BENCHDIFF_TOLERANCE) BENCH_traffic.json /tmp/storagesim-bench-diff.json
 
@@ -66,6 +69,7 @@ fuzz-smoke:
 	$(GO) test ./internal/traffic -run XXX -fuzz FuzzTenantSpec -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/trace -run XXX -fuzz FuzzParseTraceCSV -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/trace -run XXX -fuzz FuzzParseTraceJSONL -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/configsearch -run XXX -fuzz FuzzParseSpace -fuzztime $(FUZZTIME)
 
 # Seeded chaos gate: three pinned storms per backend through the repair
 # manager with the invariant suite attached. Reproduce one storm by hand
@@ -100,6 +104,19 @@ resilience-smoke:
 	$(GO) test -tags simsequential ./internal/experiments -run TestGoldenRetryStormQuick -count=1
 	$(GO) test -tags simsequential ./internal/traffic -run TestShardedResilienceLockstep -count=1
 
+# What-if explorer gate: the configsearch/surrogate unit suites, the
+# pinned-fixture search and figure goldens (byte-identical frontier under
+# all three kernel builds), the surrogate-vs-DES differential (rank
+# correlation, error bands, exact true-frontier containment) plus the
+# calibration self-check, and the CLI driving a budgeted search end to end.
+whatif-smoke:
+	$(GO) test ./internal/configsearch ./internal/surrogate
+	$(GO) test ./internal/experiments -run 'TestWhatIf|TestGoldenWhatIf' -count=1
+	$(GO) test -tags simreference ./internal/experiments -run TestGoldenWhatIf -count=1
+	$(GO) test -tags simsequential ./internal/experiments -run TestGoldenWhatIf -count=1
+	$(GO) run ./cmd/whatif -space internal/experiments/testdata/whatif_space.json \
+		-budget 60 -print-frontier >/dev/null
+
 # Domain-parallel gate: a two-rack chaos storm advanced on two executors
 # under the race detector must produce the byte-identical digest of the
 # one-executor run; the sharded traffic lockstep goldens run under both
@@ -119,9 +136,10 @@ bench:
 	  $(GO) test . -run XXX -bench 'BenchmarkConsistency|BenchmarkFig2a|BenchmarkFig3$$' -benchtime=1x -benchmem ) \
 	| $(GO) run ./cmd/benchjson -baseline BENCH_baseline.json -o BENCH_kernel.json \
 	    -note "post-overhaul kernel numbers; baseline is the pre-overhaul binary-heap scheduler. Recorded with go1.24.0 linux/amd64 on a 1-core Intel Xeon @2.10GHz container, default GOMAXPROCS"
-	$(GO) test ./internal/traffic -run XXX -bench 'BenchmarkTrafficEngine|BenchmarkResilienceOverhead' -benchtime=2s -benchmem \
+	( $(GO) test ./internal/traffic -run XXX -bench 'BenchmarkTrafficEngine|BenchmarkResilienceOverhead' -benchtime=2s -benchmem ; \
+	  $(GO) test ./internal/surrogate -run XXX -bench BenchmarkSurrogateScore -benchtime=2s -benchmem ) \
 	| $(GO) run ./cmd/benchjson -o BENCH_traffic.json \
-	    -note "open-loop traffic engine: cost per generated request (arrival draw, admission, spawn, transfer, sketch); ResilienceOverhead arms the full policy stack (deadline, retries, hedge, breaker, brownout) on an uncongested rig — the delta vs TrafficEngine is the layer's pure bookkeeping cost (floor: two goroutine baton hand-offs per request, coordinator and attempt being separate processes). Recorded with go1.24.0 linux/amd64 on a 1-core Intel Xeon @2.10GHz container, default GOMAXPROCS"
+	    -note "open-loop traffic engine: cost per generated request (arrival draw, admission, spawn, transfer, sketch); ResilienceOverhead arms the full policy stack (deadline, retries, hedge, breaker, brownout) on an uncongested rig — the delta vs TrafficEngine is the layer's pure bookkeeping cost (floor: two goroutine baton hand-offs per request, coordinator and attempt being separate processes). SurrogateScore is the what-if explorer's analytical predictor: cost of scoring one candidate configuration (the search layer assumes >=10k configs/sec). Recorded with go1.24.0 linux/amd64 on a 1-core Intel Xeon @2.10GHz container, default GOMAXPROCS"
 	$(GO) test ./internal/traffic -run XXX -bench BenchmarkParallelTraffic -benchtime=2s -benchmem -cpu=1,2,4,8 \
 	| $(GO) run ./cmd/benchjson -keep-cpu -o BENCH_parallel.json \
 	    -note "domain-parallel scaling sweep: 8 racks, executors = GOMAXPROCS (-cpu suffix); results are bit-identical across the sweep, only wall clock moves. Recorded with go1.24.0 linux/amd64 on a 1-core Intel Xeon @2.10GHz container (no physical parallelism: the sweep checks determinism, not speedup, here)"

@@ -24,6 +24,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"sort"
@@ -108,43 +109,53 @@ func loadDoc(path string) (document, error) {
 }
 
 // diffDocs compares two recorded documents benchmark by benchmark and
-// reports regressions: ns/op more than threshold (a fraction, 0.10 = 10%)
-// above the old record, or any allocs/op increase. Benchmarks present in
-// only one document are listed but never fail the gate — new benchmarks
-// must be recordable without a chicken-and-egg failure.
-func diffDocs(oldDoc, newDoc document, threshold float64) (failures int) {
-	names := make([]string, 0, len(newDoc.Benchmarks))
+// reports regressions to w: ns/op more than threshold (a fraction,
+// 0.10 = 10%) above the old record, or any allocs/op increase.
+// Benchmarks present in only one document are listed as explicit sorted
+// "added"/"removed" lines but never fail the gate — new benchmarks must
+// be recordable without a chicken-and-egg failure, and the output is
+// byte-stable for a given input pair.
+func diffDocs(w io.Writer, oldDoc, newDoc document, threshold float64) (failures int) {
+	var shared, added, removed []string
 	for name := range newDoc.Benchmarks {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		nr := newDoc.Benchmarks[name]
-		or, ok := oldDoc.Benchmarks[name]
-		if !ok {
-			fmt.Printf("  new  %-40s %10.1f ns/op %8.0f allocs/op (no old record)\n",
-				name, nr.NsPerOp, nr.AllocsPerOp)
-			continue
+		if _, ok := oldDoc.Benchmarks[name]; ok {
+			shared = append(shared, name)
+		} else {
+			added = append(added, name)
 		}
-		status := "ok  "
+	}
+	for name := range oldDoc.Benchmarks {
+		if _, ok := newDoc.Benchmarks[name]; !ok {
+			removed = append(removed, name)
+		}
+	}
+	sort.Strings(shared)
+	sort.Strings(added)
+	sort.Strings(removed)
+	for _, name := range shared {
+		or, nr := oldDoc.Benchmarks[name], newDoc.Benchmarks[name]
+		status := "ok     "
 		if or.NsPerOp > 0 && nr.NsPerOp > or.NsPerOp*(1+threshold) {
-			status = "FAIL"
+			status = "FAIL   "
 			failures++
 		} else if nr.AllocsPerOp > or.AllocsPerOp {
-			status = "FAIL"
+			status = "FAIL   "
 			failures++
 		}
 		delta := 0.0
 		if or.NsPerOp > 0 {
 			delta = (nr.NsPerOp - or.NsPerOp) / or.NsPerOp * 100
 		}
-		fmt.Printf("  %s %-40s %10.1f -> %10.1f ns/op (%+6.1f%%)  %6.0f -> %6.0f allocs/op\n",
+		fmt.Fprintf(w, "  %s %-40s %10.1f -> %10.1f ns/op (%+6.1f%%)  %6.0f -> %6.0f allocs/op\n",
 			status, name, or.NsPerOp, nr.NsPerOp, delta, or.AllocsPerOp, nr.AllocsPerOp)
 	}
-	for name := range oldDoc.Benchmarks {
-		if _, ok := newDoc.Benchmarks[name]; !ok {
-			fmt.Printf("  gone %s (recorded but not in new run)\n", name)
-		}
+	for _, name := range added {
+		nr := newDoc.Benchmarks[name]
+		fmt.Fprintf(w, "  added   %-40s %10.1f ns/op %8.0f allocs/op (no old record)\n",
+			name, nr.NsPerOp, nr.AllocsPerOp)
+	}
+	for _, name := range removed {
+		fmt.Fprintf(w, "  removed %s (recorded but not in new run)\n", name)
 	}
 	return failures
 }
@@ -174,7 +185,7 @@ func main() {
 		}
 		fmt.Printf("benchjson diff: %s -> %s (ns/op tolerance %+.0f%%, allocs/op tolerance 0)\n",
 			flag.Arg(0), flag.Arg(1), *threshold*100)
-		if n := diffDocs(oldDoc, newDoc, *threshold); n > 0 {
+		if n := diffDocs(os.Stdout, oldDoc, newDoc, *threshold); n > 0 {
 			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed\n", n)
 			os.Exit(1)
 		}

@@ -29,7 +29,7 @@ var (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate (table1, 1, 2a, 2b, 3, 4a, 4b, 5, 6, takeaways, ablations, consistency, suitability, failover, degraded, rebuild, saturation, retrystorm, all)")
+	fig := flag.String("fig", "all", "figure to regenerate (table1, 1, 2a, 2b, 3, 4a, 4b, 5, 6, takeaways, ablations, consistency, suitability, failover, degraded, rebuild, saturation, retrystorm, whatif, all)")
 	reps := flag.Int("reps", 1, "repetitions per data point (paper uses 10)")
 	quick := flag.Bool("quick", false, "smaller sweeps")
 	seed := flag.Uint64("seed", 0x5eed, "random seed for contention and shuffles")
@@ -226,6 +226,10 @@ var figures = []figure{
 			return err
 		}
 		return renderPanels(res.Panels, nil)
+	}},
+	{"whatif", func(o storagesim.ExperimentOptions) error {
+		panels, err := storagesim.FigWhatIf(o)
+		return renderPanels(panels, err)
 	}},
 }
 

@@ -16,7 +16,7 @@ import (
 func buildCmds(t *testing.T) string {
 	t.Helper()
 	dir := t.TempDir()
-	for _, name := range []string{"paperfigs", "iorbench", "dliobench", "tracestat", "mdbench", "trafficbench", "tracereplay"} {
+	for _, name := range []string{"paperfigs", "iorbench", "dliobench", "tracestat", "mdbench", "trafficbench", "tracereplay", "whatif"} {
 		out := filepath.Join(dir, name)
 		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
 		cmd.Env = os.Environ()
@@ -114,6 +114,19 @@ func TestCommandsSmoke(t *testing.T) {
 	out = run(t, filepath.Join(dir, "tracereplay"), "-trace", recFile, "-print-spec")
 	if !strings.Contains(out, "tenants") {
 		t.Fatalf("tracereplay -print-spec output:\n%s", out)
+	}
+
+	// whatif: search the pinned fixture space (built-in default) and a
+	// space file, with frontier table and JSON export.
+	resFile := filepath.Join(dir, "whatif.json")
+	out = run(t, filepath.Join(dir, "whatif"),
+		"-space", "internal/experiments/testdata/whatif_space.json",
+		"-budget", "60", "-print-frontier", "-out", resFile)
+	if !strings.Contains(out, "whatif-frontier") || !strings.Contains(out, "verified=60") {
+		t.Fatalf("whatif output:\n%s", out)
+	}
+	if b, err := os.ReadFile(resFile); err != nil || !strings.Contains(string(b), "Frontier") {
+		t.Fatalf("whatif -out file: %v\n%s", err, b)
 	}
 
 	csvDir := filepath.Join(dir, "csv")

@@ -33,13 +33,20 @@ func VASTOnLassen(c *Cluster) *vast.System {
 // VASTOnRuby builds the same LC instance reached through Ruby's eight
 // 1×40 Gb gateway nodes.
 func VASTOnRuby(c *Cluster) *vast.System {
+	return vast.MustNew(c.Env, c.Fab, RubyVASTConfig(c))
+}
+
+// RubyVASTConfig returns the LC VAST deployment as mounted from Ruby —
+// exported so the what-if surrogate can read the deployment's real
+// parameters instead of restating them.
+func RubyVASTConfig(c *Cluster) vast.Config {
 	gw := netsim.NewLinkBank(c.Fab, "ruby-gw", rubyGateways, rubyGatewayLinkBW, gatewayLatency)
-	return vast.MustNew(c.Env, c.Fab, vastLCConfig("vast-ruby", &netsim.TCPTransport{
+	return vastLCConfig("vast-ruby", &netsim.TCPTransport{
 		Gateways:    gw,
 		PerConnBW:   nfsTCPPerConnBWRuby,
 		Connections: 1,
 		RPC:         nfsTCPRPC,
-	}))
+	})
 }
 
 // VASTOnQuartz builds the LC instance reached through Quartz's 32 gateway
@@ -121,7 +128,12 @@ func WombatVASTConfig(c *Cluster) vast.Config {
 
 // GPFSOnLassen builds Lassen's 16-NSD GPFS instance on the IB SAN.
 func GPFSOnLassen(c *Cluster) *gpfs.System {
-	return gpfs.MustNew(c.Env, c.Fab, gpfs.Config{
+	return gpfs.MustNew(c.Env, c.Fab, GPFSLassenConfig(c))
+}
+
+// GPFSLassenConfig returns the Lassen GPFS deployment parameters.
+func GPFSLassenConfig(c *Cluster) gpfs.Config {
+	return gpfs.Config{
 		Name:             "gpfs-lassen",
 		NSDServers:       gpfsNSDServers,
 		ServerNICBW:      gpfsServerNICBW,
@@ -133,13 +145,18 @@ func GPFSOnLassen(c *Cluster) *gpfs.System {
 		ClientStreamCap:  gpfsClientStreamCap,
 		ClientWriteCap:   gpfsClientWriteCap,
 		RPCLatency:       gpfsRPCLatency,
-	})
+	}
 }
 
 // LustreOn builds the LC Lustre instance (16 MDS, 36 OSS) as mounted on
 // Ruby or Quartz.
 func LustreOn(c *Cluster) *lustre.System {
-	return lustre.MustNew(c.Env, c.Fab, lustre.Config{
+	return lustre.MustNew(c.Env, c.Fab, LustreConfig(c))
+}
+
+// LustreConfig returns the LC Lustre deployment parameters.
+func LustreConfig(c *Cluster) lustre.Config {
+	return lustre.Config{
 		Name:             "lustre-" + c.Spec.Name,
 		MDSCount:         lustreMDSCount,
 		MDSLatency:       lustreMDSLatency,
@@ -149,15 +166,20 @@ func LustreOn(c *Cluster) *lustre.System {
 		ClientCacheBytes: lustreClientCacheBytes,
 		CacheBlockBytes:  cacheBlockBytes,
 		RPCLatency:       lustreRPCLatency,
-	})
+	}
 }
 
 // NVMeOnWombat builds the node-local NVMe baseline with the Wombat
 // interconnect for round-robin remote reads.
 func NVMeOnWombat(c *Cluster) *nvmelocal.System {
+	return nvmelocal.MustNew(c.Env, c.Fab, NVMeWombatConfig(c))
+}
+
+// NVMeWombatConfig returns the node-local NVMe deployment parameters.
+func NVMeWombatConfig(c *Cluster) nvmelocal.Config {
 	ic := netsim.NewLinkBank(c.Fab, "wombat-ic", 1, 100e9, 2*time.Microsecond)
 	dirty := int64(float64(int64(c.Spec.RAMGB)<<30) * nvmeDirtyFrac)
-	return nvmelocal.MustNew(c.Env, c.Fab, nvmelocal.Config{
+	return nvmelocal.Config{
 		Name:            "nvme-wombat",
 		PerNode:         NVMePerNode(),
 		MemBW:           nvmeMemBW,
@@ -165,7 +187,7 @@ func NVMeOnWombat(c *Cluster) *nvmelocal.System {
 		PageCacheBytes:  nvmePageCacheBytes,
 		CacheBlockBytes: cacheBlockBytes,
 		Interconnect:    ic,
-	})
+	}
 }
 
 // UnifyFSOnWombat builds a UnifyFS burst buffer over Wombat's node-local

@@ -1,0 +1,49 @@
+package configsearch
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzParseSpace asserts two properties over arbitrary input: the parser
+// never panics, and any accepted space round-trips — marshal then
+// re-parse yields a space that enumerates to the same candidate list.
+func FuzzParseSpace(f *testing.F) {
+	f.Add([]byte(validSpaceJSON()))
+	f.Add([]byte(`{"machine":"Ruby","backends":["lustre","gpfs"],"nodes":[1,2,4]}`))
+	f.Add([]byte(`{"machine":"Wombat","backends":["vast"],"repair_qos":["throttled","aggressive"],"fault":{"kind":"unit-fail","at":"250ms"}}`))
+	f.Add([]byte(`{"machine":"Wombat","backends":["vast"],"client_cache_mib":[0,4096],"pricing":{"cache_gib_hr":0.02}}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"machine":"Wombat","backends":["vast"],"stripe_width":[3],"ec_parity":[2]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ParseSpace(data)
+		if err != nil {
+			return
+		}
+		buf, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("accepted space does not marshal: %v", err)
+		}
+		s2, err := ParseSpace(buf)
+		if err != nil {
+			t.Fatalf("marshal of accepted space rejected: %v\n%s", err, buf)
+		}
+		a, err := s.Enumerate()
+		if err != nil {
+			t.Fatalf("accepted space does not enumerate: %v", err)
+		}
+		b, err := s2.Enumerate()
+		if err != nil {
+			t.Fatalf("round-tripped space does not enumerate: %v", err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("round trip changed candidate count: %d vs %d", len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("round trip changed candidate %d: %v vs %v", i, a[i], b[i])
+			}
+		}
+	})
+}

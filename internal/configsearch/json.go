@@ -1,0 +1,141 @@
+package configsearch
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"storagesim/internal/sim"
+	"storagesim/internal/units"
+)
+
+// JSON wire format for knob spaces, mirroring the tenant-spec parser
+// (traffic.ParseSpec): unknown fields and trailing data are rejected — a
+// typoed "nconect" silently falling back to the default would invalidate
+// a whole what-if study.
+//
+//	{
+//	  "machine": "Wombat",
+//	  "backends": ["vast", "nvme"],
+//	  "nodes": [2],
+//	  "cnodes": [2, 4, 8],
+//	  "nconnect": [4, 16],
+//	  "stripe_width": [1, 2],
+//	  "ec_parity": [1, 2],
+//	  "dboxes": [4],
+//	  "max_inflight": [16, 64],
+//	  "pricing": {"server_hr": 3, "enclosure_hr": 8}
+//	}
+//
+// Durations in the fault block accept Go syntax or bare seconds, like
+// fault schedules and tenant specs.
+
+type jsonFault struct {
+	Kind   string  `json:"kind"`
+	At     string  `json:"at"`
+	Index  int     `json:"index,omitempty"`
+	Factor float64 `json:"factor,omitempty"`
+}
+
+type jsonPricing struct {
+	ClientNodeHr float64 `json:"client_node_hr,omitempty"`
+	ServerHr     float64 `json:"server_hr,omitempty"`
+	EnclosureHr  float64 `json:"enclosure_hr,omitempty"`
+	CacheGiBHr   float64 `json:"cache_gib_hr,omitempty"`
+}
+
+type jsonSpace struct {
+	Machine        string       `json:"machine"`
+	Backends       []string     `json:"backends"`
+	Nodes          []int        `json:"nodes,omitempty"`
+	CNodes         []int        `json:"cnodes,omitempty"`
+	Nconnect       []int        `json:"nconnect,omitempty"`
+	DBoxes         []int        `json:"dboxes,omitempty"`
+	StripeWidth    []int        `json:"stripe_width,omitempty"`
+	ECParity       []int        `json:"ec_parity,omitempty"`
+	RepairQoS      []string     `json:"repair_qos,omitempty"`
+	ClientCacheMiB []int        `json:"client_cache_mib,omitempty"`
+	MaxInflight    []int        `json:"max_inflight,omitempty"`
+	Fault          *jsonFault   `json:"fault,omitempty"`
+	Pricing        *jsonPricing `json:"pricing,omitempty"`
+}
+
+// ParseSpace decodes and validates the JSON knob-space format.
+func ParseSpace(data []byte) (Space, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var js jsonSpace
+	if err := dec.Decode(&js); err != nil {
+		return Space{}, fmt.Errorf("configsearch: bad space JSON: %v", err)
+	}
+	if dec.More() {
+		return Space{}, fmt.Errorf("configsearch: trailing data after space")
+	}
+	s := Space{
+		Machine:        js.Machine,
+		Backends:       js.Backends,
+		Nodes:          js.Nodes,
+		CNodes:         js.CNodes,
+		Nconnect:       js.Nconnect,
+		DBoxes:         js.DBoxes,
+		StripeWidth:    js.StripeWidth,
+		ECParity:       js.ECParity,
+		RepairQoS:      js.RepairQoS,
+		ClientCacheMiB: js.ClientCacheMiB,
+		MaxInflight:    js.MaxInflight,
+	}
+	if jf := js.Fault; jf != nil {
+		f := Fault{Kind: jf.Kind, Index: jf.Index, Factor: jf.Factor}
+		if jf.At != "" {
+			d, err := units.ParseDuration(jf.At)
+			if err != nil {
+				return Space{}, fmt.Errorf("configsearch: fault at: %w", err)
+			}
+			f.At = sim.Duration(d)
+		}
+		s.Fault = &f
+	}
+	if jp := js.Pricing; jp != nil {
+		s.Pricing = Pricing{
+			ClientNodeHr: jp.ClientNodeHr,
+			ServerHr:     jp.ServerHr,
+			EnclosureHr:  jp.EnclosureHr,
+			CacheGiBHr:   jp.CacheGiBHr,
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return Space{}, err
+	}
+	return s, nil
+}
+
+// MarshalJSON renders the space back into the documented wire format, so
+// programmatically built spaces can be written as example files and
+// accepted spaces round-trip (see FuzzParseSpace).
+func (s Space) MarshalJSON() ([]byte, error) {
+	js := jsonSpace{
+		Machine:        s.Machine,
+		Backends:       s.Backends,
+		Nodes:          s.Nodes,
+		CNodes:         s.CNodes,
+		Nconnect:       s.Nconnect,
+		DBoxes:         s.DBoxes,
+		StripeWidth:    s.StripeWidth,
+		ECParity:       s.ECParity,
+		RepairQoS:      s.RepairQoS,
+		ClientCacheMiB: s.ClientCacheMiB,
+		MaxInflight:    s.MaxInflight,
+	}
+	if f := s.Fault; f != nil {
+		js.Fault = &jsonFault{Kind: f.Kind, At: f.At.String(), Index: f.Index, Factor: f.Factor}
+	}
+	if s.Pricing != (Pricing{}) {
+		js.Pricing = &jsonPricing{
+			ClientNodeHr: s.Pricing.ClientNodeHr,
+			ServerHr:     s.Pricing.ServerHr,
+			EnclosureHr:  s.Pricing.EnclosureHr,
+			CacheGiBHr:   s.Pricing.CacheGiBHr,
+		}
+	}
+	return json.Marshal(js)
+}

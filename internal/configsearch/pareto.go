@@ -1,0 +1,187 @@
+package configsearch
+
+// Pareto-frontier extraction over (goodput, p99, cost) — goodput
+// maximized, the other two minimized — plus the margin-band relaxation
+// the surrogate-guided search prunes with.
+//
+// The pruning argument the search relies on: non-domination is preserved
+// under subsetting. If a candidate is non-dominated in the full space, it
+// is non-dominated in any subset that contains it, so the frontier of the
+// DES-verified survivors contains every true-frontier point *provided no
+// true-frontier candidate was pruned*. Pruning drops a candidate only
+// when another candidate beats it on every objective simultaneously:
+// by more than the margin on the surrogate-predicted axes (goodput, p99),
+// and outright on the cost axis, which is priced exactly and carries no
+// prediction error. With the surrogate's relative error bounded below
+// margin/2 per predicted objective (the differential tests pin this), a
+// predicted beating that decisive implies a true domination, so
+// true-frontier candidates always survive.
+
+// Objective names one search axis.
+type Objective string
+
+// Objectives.
+const (
+	// Goodput is delivered payload bandwidth (maximize).
+	Goodput Objective = "goodput"
+	// P99 is merged p99 completion latency (minimize).
+	P99 Objective = "p99"
+	// Cost is the pricing model's hourly rate (minimize).
+	Cost Objective = "cost"
+)
+
+// DefaultObjectives is the full three-axis frontier.
+func DefaultObjectives() []Objective { return []Objective{Goodput, P99, Cost} }
+
+// Metrics is one candidate's scored or measured performance.
+type Metrics struct {
+	// GoodputBps is delivered payload bandwidth, bytes/second.
+	GoodputBps float64
+	// P99Sec is the merged p99 completion latency, seconds.
+	P99Sec float64
+	// CostHr is the candidate's price under the space's model.
+	CostHr float64
+	// ShedFrac is the fraction of offered requests refused.
+	ShedFrac float64
+	// Offered/Completed/Shed are the request counts of a DES run (zero
+	// for surrogate predictions).
+	Offered, Completed, Shed uint64
+}
+
+// axis carries one objective value with its direction. Values keep their
+// natural sign (multiplicative margins need positive magnitudes), so the
+// direction travels alongside instead of being folded into a negation.
+// exact marks axes known without prediction error (cost): the margin
+// band does not apply to them.
+type axis struct {
+	value    float64
+	maximize bool
+	exact    bool
+}
+
+func axes(m Metrics, objs []Objective) []axis {
+	out := make([]axis, len(objs))
+	for i, o := range objs {
+		switch o {
+		case Goodput:
+			out[i] = axis{m.GoodputBps, true, false}
+		case P99:
+			out[i] = axis{m.P99Sec, false, false}
+		case Cost:
+			out[i] = axis{m.CostHr, false, true}
+		}
+	}
+	return out
+}
+
+// dominates reports whether a dominates b: at least as good on every
+// objective and strictly better on one.
+func dominates(a, b []axis) bool {
+	strict := false
+	for i := range a {
+		if a[i].maximize {
+			if a[i].value < b[i].value {
+				return false
+			}
+			if a[i].value > b[i].value {
+				strict = true
+			}
+		} else {
+			if a[i].value > b[i].value {
+				return false
+			}
+			if a[i].value < b[i].value {
+				strict = true
+			}
+		}
+	}
+	return strict
+}
+
+// beatsByMargin is the pruning predicate: a must beat b strictly by more
+// than the fractional margin on every predicted axis, and be at least as
+// good on every exact axis. Requiring a strict win on a predicted axis
+// (not just the multiplicative bound, which degenerates at zero) keeps
+// equal points from pruning each other.
+func beatsByMargin(a, b []axis, margin float64) bool {
+	won := false
+	for i := range a {
+		switch {
+		case a[i].exact:
+			if a[i].maximize {
+				if a[i].value < b[i].value {
+					return false
+				}
+				if a[i].value > b[i].value {
+					won = true
+				}
+			} else {
+				if a[i].value > b[i].value {
+					return false
+				}
+				if a[i].value < b[i].value {
+					won = true
+				}
+			}
+		case a[i].maximize:
+			if a[i].value <= b[i].value || a[i].value < b[i].value*(1+margin) {
+				return false
+			}
+			won = true
+		default:
+			if a[i].value >= b[i].value || a[i].value > b[i].value*(1-margin) {
+				return false
+			}
+			won = true
+		}
+	}
+	return won
+}
+
+// ParetoIndices returns the indices of the non-dominated points, in
+// input order. O(n²), fine for the enumerated spaces this serves.
+func ParetoIndices(ms []Metrics, objs []Objective) []int {
+	ax := make([][]axis, len(ms))
+	for i, m := range ms {
+		ax[i] = axes(m, objs)
+	}
+	var out []int
+	for i := range ms {
+		dominated := false
+		for j := range ms {
+			if i != j && dominates(ax[j], ax[i]) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// MarginSurvivors returns the indices of points no other point beats
+// under beatsByMargin — the predicted frontier plus its margin band on
+// the predicted axes. The margin must be positive; exactly equal points
+// never prune each other.
+func MarginSurvivors(ms []Metrics, objs []Objective, margin float64) []int {
+	ax := make([][]axis, len(ms))
+	for i, m := range ms {
+		ax[i] = axes(m, objs)
+	}
+	var out []int
+	for i := range ms {
+		pruned := false
+		for j := range ms {
+			if i != j && beatsByMargin(ax[j], ax[i], margin) {
+				pruned = true
+				break
+			}
+		}
+		if !pruned {
+			out = append(out, i)
+		}
+	}
+	return out
+}

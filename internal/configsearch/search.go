@@ -1,0 +1,190 @@
+package configsearch
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The search loop: enumerate → surrogate-score everything → keep the
+// predicted frontier plus a margin band → DES-verify only the survivors
+// → report the exact Pareto frontier of the measured survivors.
+
+// Predictor scores one candidate analytically (microseconds). The
+// returned metrics carry goodput and p99; the search fills in cost.
+type Predictor func(c Candidate) (Metrics, error)
+
+// Evaluator measures candidates with the DES (milliseconds each). It
+// receives the whole batch so callers can fan it out over the
+// experiments rep machinery; results must align with the input order.
+type Evaluator func(cs []Candidate) ([]Metrics, error)
+
+// Options tune one search run.
+type Options struct {
+	// Objectives are the frontier axes (default: goodput, p99, cost).
+	Objectives []Objective
+	// Margin is the fractional band kept around the predicted frontier
+	// (default 0.25). Wider margins survive larger surrogate errors at
+	// the price of more DES verification.
+	Margin float64
+	// Budget caps DES verifications; 0 means no cap. When the margin
+	// band exceeds the budget the best-ranked survivors are kept and the
+	// truncation is recorded in Result.Truncated — never silent.
+	Budget int
+}
+
+func (o Options) withDefaults() Options {
+	if len(o.Objectives) == 0 {
+		o.Objectives = DefaultObjectives()
+	}
+	if o.Margin == 0 {
+		o.Margin = 0.25
+	}
+	return o
+}
+
+// Validate reports the first problem with the options.
+func (o Options) Validate() error {
+	if o.Margin <= 0 {
+		return fmt.Errorf("configsearch: margin must be positive")
+	}
+	seen := map[Objective]bool{}
+	for _, ob := range o.Objectives {
+		switch ob {
+		case Goodput, P99, Cost:
+		default:
+			return fmt.Errorf("configsearch: unknown objective %q", ob)
+		}
+		if seen[ob] {
+			return fmt.Errorf("configsearch: duplicate objective %q", ob)
+		}
+		seen[ob] = true
+	}
+	if o.Budget < 0 {
+		return fmt.Errorf("configsearch: negative budget")
+	}
+	return nil
+}
+
+// ParseObjectives parses a comma-separated objective list ("goodput,cost").
+func ParseObjectives(s string) ([]Objective, error) {
+	if s == "" {
+		return DefaultObjectives(), nil
+	}
+	var out []Objective
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			out = append(out, Objective(s[start:i]))
+			start = i + 1
+		}
+	}
+	o := Options{Objectives: out, Margin: 0.25}
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Scored pairs a candidate with its metrics.
+type Scored struct {
+	Candidate Candidate
+	Predicted Metrics
+	// Measured is the DES result; only set for verified candidates.
+	Measured *Metrics
+}
+
+// Result is one completed search.
+type Result struct {
+	// Objectives echoes the axes searched.
+	Objectives []Objective
+	// Margin echoes the pruning band.
+	Margin float64
+	// Candidates is the full enumerated space with predictions, in
+	// enumeration order.
+	Candidates []Scored
+	// PredictedFrontier indexes Candidates: the surrogate's exact
+	// frontier (no margin).
+	PredictedFrontier []int
+	// Survivors indexes Candidates: the margin band the DES verified.
+	Survivors []int
+	// Frontier indexes Candidates: the exact Pareto frontier of the
+	// measured survivors — the search's answer.
+	Frontier []int
+	// Truncated counts margin-band survivors dropped by the budget
+	// (0 when the band fit).
+	Truncated int
+}
+
+// Search runs the full loop. Deterministic: enumeration order is fixed,
+// the predictor and evaluator are assumed deterministic, and all
+// tie-breaking is by enumeration index.
+func Search(space *Space, opts Options, predict Predictor, evaluate Evaluator) (*Result, error) {
+	opts = opts.withDefaults()
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	cands, err := space.Enumerate()
+	if err != nil {
+		return nil, err
+	}
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("configsearch: space enumerates to zero candidates")
+	}
+	res := &Result{Objectives: opts.Objectives, Margin: opts.Margin}
+	preds := make([]Metrics, len(cands))
+	for i, c := range cands {
+		m, err := predict(c)
+		if err != nil {
+			return nil, fmt.Errorf("configsearch: predict %s: %w", c, err)
+		}
+		m.CostHr = space.Cost(c)
+		preds[i] = m
+		res.Candidates = append(res.Candidates, Scored{Candidate: c, Predicted: m})
+	}
+	res.PredictedFrontier = ParetoIndices(preds, opts.Objectives)
+	res.Survivors = MarginSurvivors(preds, opts.Objectives, opts.Margin)
+	if opts.Budget > 0 && len(res.Survivors) > opts.Budget {
+		// Rank survivors by how far inside the predicted frontier they
+		// sit (frontier members first, then by enumeration index) and
+		// keep the budgeted prefix. The drop count is reported, never
+		// silent: a truncated verification can miss frontier points.
+		onFrontier := map[int]bool{}
+		for _, i := range res.PredictedFrontier {
+			onFrontier[i] = true
+		}
+		ranked := append([]int(nil), res.Survivors...)
+		sort.SliceStable(ranked, func(a, b int) bool {
+			fa, fb := onFrontier[ranked[a]], onFrontier[ranked[b]]
+			if fa != fb {
+				return fa
+			}
+			return ranked[a] < ranked[b]
+		})
+		res.Truncated = len(ranked) - opts.Budget
+		ranked = ranked[:opts.Budget]
+		sort.Ints(ranked)
+		res.Survivors = ranked
+	}
+	batch := make([]Candidate, len(res.Survivors))
+	for k, i := range res.Survivors {
+		batch[k] = cands[i]
+	}
+	measured, err := evaluate(batch)
+	if err != nil {
+		return nil, fmt.Errorf("configsearch: evaluate: %w", err)
+	}
+	if len(measured) != len(batch) {
+		return nil, fmt.Errorf("configsearch: evaluator returned %d results for %d candidates", len(measured), len(batch))
+	}
+	survivorMetrics := make([]Metrics, len(res.Survivors))
+	for k, i := range res.Survivors {
+		m := measured[k]
+		m.CostHr = space.Cost(cands[i])
+		survivorMetrics[k] = m
+		res.Candidates[i].Measured = &survivorMetrics[k]
+	}
+	for _, k := range ParetoIndices(survivorMetrics, opts.Objectives) {
+		res.Frontier = append(res.Frontier, res.Survivors[k])
+	}
+	return res, nil
+}

@@ -1,0 +1,151 @@
+package configsearch
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// fakeMetrics gives each candidate deterministic synthetic performance:
+// goodput binds on the narrower of the CNode pool and the connection
+// pipe, p99 improves with nconnect. Same-cost candidates (cost depends
+// only on CNodes) with starved connection pipes are margin-dominated, so
+// the band genuinely prunes. Exercises the search plumbing, not realism.
+func fakeMetrics(c Candidate) Metrics {
+	cn := c.CNodes
+	if cn == 0 {
+		cn = 8
+	}
+	nc := c.Nconnect
+	if nc == 0 {
+		nc = 4
+	}
+	goodput := float64(cn) * 1e9
+	if pipe := float64(nc) * 1e9; pipe < goodput {
+		goodput = pipe
+	}
+	p99 := 0.010 / float64(nc)
+	return Metrics{GoodputBps: goodput, P99Sec: p99}
+}
+
+func searchSpace() *Space {
+	return &Space{
+		Machine:  "Wombat",
+		Backends: []string{"vast"},
+		Nodes:    []int{2},
+		CNodes:   []int{1, 2, 4, 8},
+		Nconnect: []int{1, 4, 16},
+	}
+}
+
+func TestSearchEndToEnd(t *testing.T) {
+	var evaluated []Candidate
+	predict := func(c Candidate) (Metrics, error) { return fakeMetrics(c), nil }
+	evaluate := func(cs []Candidate) ([]Metrics, error) {
+		evaluated = append(evaluated, cs...)
+		out := make([]Metrics, len(cs))
+		for i, c := range cs {
+			out[i] = fakeMetrics(c) // perfect surrogate: DES agrees exactly
+		}
+		return out, nil
+	}
+	res, err := Search(searchSpace(), Options{Margin: 0.20}, predict, evaluate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Candidates) != 12 {
+		t.Fatalf("enumerated %d candidates, want 12", len(res.Candidates))
+	}
+	if len(res.Survivors) == 0 || len(res.Survivors) == len(res.Candidates) {
+		t.Fatalf("margin band did not prune: %d of %d survived", len(res.Survivors), len(res.Candidates))
+	}
+	if len(evaluated) != len(res.Survivors) {
+		t.Fatalf("evaluator saw %d candidates, survivors %d", len(evaluated), len(res.Survivors))
+	}
+	// With a perfect surrogate the measured frontier equals the predicted one.
+	if !reflect.DeepEqual(res.Frontier, res.PredictedFrontier) {
+		t.Fatalf("frontier %v != predicted %v under a perfect surrogate", res.Frontier, res.PredictedFrontier)
+	}
+	// Every frontier candidate carries a measured result.
+	for _, i := range res.Frontier {
+		if res.Candidates[i].Measured == nil {
+			t.Fatalf("frontier candidate %d has no measurement", i)
+		}
+		if res.Candidates[i].Measured.CostHr <= 0 {
+			t.Fatalf("frontier candidate %d has no cost", i)
+		}
+	}
+	if res.Truncated != 0 {
+		t.Fatalf("unbudgeted search reported truncation %d", res.Truncated)
+	}
+}
+
+func TestSearchBudgetTruncation(t *testing.T) {
+	predict := func(c Candidate) (Metrics, error) { return fakeMetrics(c), nil }
+	evaluate := func(cs []Candidate) ([]Metrics, error) {
+		out := make([]Metrics, len(cs))
+		for i, c := range cs {
+			out[i] = fakeMetrics(c)
+		}
+		return out, nil
+	}
+	full, err := Search(searchSpace(), Options{Margin: 0.20}, predict, evaluate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := len(full.PredictedFrontier)
+	if budget >= len(full.Survivors) {
+		t.Skipf("band (%d) not larger than frontier (%d); nothing to truncate", len(full.Survivors), budget)
+	}
+	res, err := Search(searchSpace(), Options{Margin: 0.20, Budget: budget}, predict, evaluate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Survivors) != budget {
+		t.Fatalf("budget %d but %d survivors verified", budget, len(res.Survivors))
+	}
+	if want := len(full.Survivors) - budget; res.Truncated != want {
+		t.Fatalf("Truncated = %d, want %d", res.Truncated, want)
+	}
+	// Predicted-frontier members outrank band members: all kept.
+	kept := map[int]bool{}
+	for _, i := range res.Survivors {
+		kept[i] = true
+	}
+	for _, i := range res.PredictedFrontier {
+		if !kept[i] {
+			t.Fatalf("budget dropped predicted-frontier candidate %d", i)
+		}
+	}
+	// Survivor indices stay sorted so the evaluation batch is in
+	// enumeration order (deterministic goldens depend on this).
+	for k := 1; k < len(res.Survivors); k++ {
+		if res.Survivors[k] <= res.Survivors[k-1] {
+			t.Fatalf("survivors not ascending: %v", res.Survivors)
+		}
+	}
+}
+
+func TestSearchErrorPaths(t *testing.T) {
+	predict := func(c Candidate) (Metrics, error) { return fakeMetrics(c), nil }
+	okEval := func(cs []Candidate) ([]Metrics, error) { return make([]Metrics, len(cs)), nil }
+
+	if _, err := Search(searchSpace(), Options{Margin: -1}, predict, okEval); err == nil {
+		t.Fatal("negative margin accepted")
+	}
+	if _, err := Search(searchSpace(), Options{Objectives: []Objective{"latency"}}, predict, okEval); err == nil {
+		t.Fatal("unknown objective accepted")
+	}
+	bad := &Space{Machine: "Wombat", Backends: []string{"ceph"}}
+	if _, err := Search(bad, Options{}, predict, okEval); err == nil {
+		t.Fatal("invalid space accepted")
+	}
+	failPredict := func(c Candidate) (Metrics, error) { return Metrics{}, fmt.Errorf("boom") }
+	if _, err := Search(searchSpace(), Options{}, failPredict, okEval); err == nil {
+		t.Fatal("predictor error swallowed")
+	}
+	shortEval := func(cs []Candidate) ([]Metrics, error) { return nil, nil }
+	if _, err := Search(searchSpace(), Options{}, predict, shortEval); err == nil {
+		t.Fatal("misaligned evaluator accepted")
+	}
+}

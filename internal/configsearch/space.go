@@ -1,0 +1,512 @@
+// Package configsearch is the what-if configuration explorer's search
+// substrate: a typed knob space over the deployments the testbeds can
+// build, enumeration of its candidate configurations, a per-resource
+// pricing model, and Pareto-frontier extraction over (goodput, p99
+// latency, cost) with a margin band for surrogate-guided pruning.
+//
+// The package deliberately knows nothing about the DES: candidates are
+// scored through a Predictor (the analytical surrogate) and verified
+// through an Evaluator (the traffic engine), both supplied by the caller
+// (internal/experiments wires them). That keeps the dependency flow
+// one-way — experiments → configsearch → surrogate — and makes the search
+// logic testable with fake oracles.
+package configsearch
+
+import (
+	"fmt"
+	"sort"
+
+	"storagesim/internal/sim"
+)
+
+// Knob domains understood by the space. A nil domain means "the
+// deployment default"; an explicitly empty domain is rejected — a typoed
+// space silently collapsing to zero candidates would invalidate a study.
+//
+// The vast-only knobs (cnodes, nconnect, dboxes, stripe_width, ec_parity,
+// client_cache_mib) are canonicalized to zero for other backends, so a
+// mixed-backend space does not multiply inert combinations.
+
+// Fault optionally declares a degraded-window scenario: a single fault
+// event mid-window, served through the repair manager, so the EC and
+// repair-QoS knobs become performance-live instead of cost-only.
+type Fault struct {
+	// Kind is the fault class: "unit-fail", "server-fail" or
+	// "link-derate" (faults.EventKind names).
+	Kind string
+	// At is when the fault fires.
+	At sim.Duration
+	// Index selects the failing unit/server.
+	Index int
+	// Factor is the link-derate multiplier in (0,1]; unused otherwise.
+	Factor float64
+}
+
+// Validate reports the first problem with the fault block.
+func (f *Fault) Validate() error {
+	switch f.Kind {
+	case "unit-fail", "server-fail":
+		if f.Factor != 0 {
+			return fmt.Errorf("configsearch: fault %s takes no factor", f.Kind)
+		}
+	case "link-derate":
+		if f.Factor <= 0 || f.Factor > 1 {
+			return fmt.Errorf("configsearch: link-derate factor %g out of (0,1]", f.Factor)
+		}
+	default:
+		return fmt.Errorf("configsearch: unknown fault kind %q", f.Kind)
+	}
+	if f.At <= 0 {
+		return fmt.Errorf("configsearch: fault needs a positive time")
+	}
+	if f.Index < 0 {
+		return fmt.Errorf("configsearch: negative fault index")
+	}
+	return nil
+}
+
+// Pricing is the per-resource cost model attached to a space: simple
+// hourly rates whose only job is to give the frontier a third axis that
+// rises with provisioned hardware.
+type Pricing struct {
+	// ClientNodeHr prices one compute node.
+	ClientNodeHr float64
+	// ServerHr prices one protocol server (CNode, NSD, MDS/OSS).
+	ServerHr float64
+	// EnclosureHr prices one storage enclosure (DBox, OST shelf,
+	// node-local SSD set).
+	EnclosureHr float64
+	// CacheGiBHr prices one GiB of provisioned cache.
+	CacheGiBHr float64
+}
+
+// DefaultPricing returns rates in arbitrary but stable units.
+func DefaultPricing() Pricing {
+	return Pricing{ClientNodeHr: 1.0, ServerHr: 3.0, EnclosureHr: 8.0, CacheGiBHr: 0.02}
+}
+
+func (p Pricing) validate() error {
+	if p.ClientNodeHr < 0 || p.ServerHr < 0 || p.EnclosureHr < 0 || p.CacheGiBHr < 0 {
+		return fmt.Errorf("configsearch: negative pricing rate")
+	}
+	return nil
+}
+
+// Repair-QoS knob values.
+const (
+	// QoSThrottled caps rebuild flows at background priority.
+	QoSThrottled = "throttled"
+	// QoSAggressive lets rebuild flows take their fair share.
+	QoSAggressive = "aggressive"
+)
+
+// Space is a typed knob space over deployments of one machine. Zero knob
+// values mean "deployment default" throughout, so every domain can mix
+// the default with explicit overrides.
+type Space struct {
+	// Machine is the hosting cluster ("Wombat", "Ruby", ...).
+	Machine string
+	// Backends are the storage deployments to consider ("vast",
+	// "lustre", "nvme", "gpfs", "unifyfs").
+	Backends []string
+	// Nodes are client node counts.
+	Nodes []int
+	// CNodes are VAST protocol-server counts (0 = deployment default).
+	CNodes []int
+	// Nconnect are NFS/RDMA nconnect values (0 = deployment default).
+	Nconnect []int
+	// DBoxes are VAST enclosure counts (0 = deployment default).
+	DBoxes []int
+	// StripeWidth are EC data strips per stripe (0 = default). Resolved
+	// width+parity must fit within the enclosure count.
+	StripeWidth []int
+	// ECParity are EC parity strips per stripe (0 = deployment default).
+	ECParity []int
+	// RepairQoS are rebuild QoS policies; varying it needs a Fault.
+	RepairQoS []string
+	// ClientCacheMiB are client page-cache sizes per mount (0 = default).
+	ClientCacheMiB []int
+	// MaxInflight override every tenant's admission cap (0 = keep the
+	// tenant spec's own caps).
+	MaxInflight []int
+	// Fault optionally arms a degraded-window scenario.
+	Fault *Fault
+	// Pricing is the cost model; the zero value means DefaultPricing.
+	Pricing Pricing
+}
+
+// Candidate is one fully specified configuration drawn from a Space.
+// It is a comparable value type: enumeration dedups canonicalized
+// candidates through an equality map.
+type Candidate struct {
+	Backend        string
+	Nodes          int
+	CNodes         int
+	Nconnect       int
+	DBoxes         int
+	StripeWidth    int
+	ECParity       int
+	RepairQoS      string
+	ClientCacheMiB int
+	MaxInflight    int
+}
+
+// String renders the candidate as a compact, stable key for tables.
+func (c Candidate) String() string {
+	s := fmt.Sprintf("%s n%d", c.Backend, c.Nodes)
+	if c.CNodes > 0 {
+		s += fmt.Sprintf(" cn%d", c.CNodes)
+	}
+	if c.Nconnect > 0 {
+		s += fmt.Sprintf(" nc%d", c.Nconnect)
+	}
+	if c.DBoxes > 0 {
+		s += fmt.Sprintf(" db%d", c.DBoxes)
+	}
+	if c.StripeWidth > 0 {
+		s += fmt.Sprintf(" sw%d", c.StripeWidth)
+	}
+	if c.ECParity > 0 {
+		s += fmt.Sprintf(" p%d", c.ECParity)
+	}
+	if c.RepairQoS != "" {
+		s += " " + c.RepairQoS
+	}
+	if c.ClientCacheMiB > 0 {
+		s += fmt.Sprintf(" cc%d", c.ClientCacheMiB)
+	}
+	if c.MaxInflight > 0 {
+		s += fmt.Sprintf(" if%d", c.MaxInflight)
+	}
+	return s
+}
+
+// knownBackends are the deployments the testbed builders can make.
+var knownBackends = map[string]bool{
+	"vast": true, "gpfs": true, "lustre": true, "nvme": true, "unifyfs": true,
+}
+
+// vastKnob reports whether the backend consumes the VAST-only knobs.
+func vastKnob(backend string) bool { return backend == "vast" }
+
+// Deployment defaults used to resolve zero knob values for validation
+// and pricing. These mirror the Wombat VAST instance and the fixed LC
+// deployments (cluster/params.go); the materializer in experiments reads
+// the same numbers from the real configs, and the differential tests
+// would catch drift between the two views.
+const (
+	defaultVASTCNodes = 8
+	defaultVASTDBoxes = 4
+	lustreServers     = 16 + 36 // MDS + OSS
+	lustreEnclosures  = 36
+	gpfsServers       = 16 // NSD servers
+)
+
+// resolvedDBoxes returns the enclosure count a candidate materializes.
+func resolvedDBoxes(db int) int {
+	if db == 0 {
+		return defaultVASTDBoxes
+	}
+	return db
+}
+
+// resolvedParity returns the EC parity a candidate materializes (the
+// VAST model defaults to min(2, DBoxes-1)).
+func resolvedParity(p, db int) int {
+	if p != 0 {
+		return p
+	}
+	db = resolvedDBoxes(db)
+	if db-1 < 2 {
+		return db - 1
+	}
+	return 2
+}
+
+// resolvedStripeWidth returns the EC data-strip count (default 1).
+func resolvedStripeWidth(w int) int {
+	if w == 0 {
+		return 1
+	}
+	return w
+}
+
+// normalized returns a copy with default domains filled in and every
+// domain sorted ascending and deduplicated, so enumeration order is a
+// function of the space's content, not of how the file listed values.
+func (s Space) normalized() Space {
+	n := s
+	n.Backends = sortedStrings(s.Backends)
+	n.RepairQoS = sortedStrings(s.RepairQoS)
+	fill := func(d []int) []int {
+		if d == nil {
+			return []int{0}
+		}
+		return sortedInts(d)
+	}
+	if n.Nodes == nil {
+		n.Nodes = []int{2}
+	} else {
+		n.Nodes = sortedInts(n.Nodes)
+	}
+	n.CNodes = fill(s.CNodes)
+	n.Nconnect = fill(s.Nconnect)
+	n.DBoxes = fill(s.DBoxes)
+	n.StripeWidth = fill(s.StripeWidth)
+	n.ECParity = fill(s.ECParity)
+	n.ClientCacheMiB = fill(s.ClientCacheMiB)
+	n.MaxInflight = fill(s.MaxInflight)
+	if n.RepairQoS == nil {
+		n.RepairQoS = []string{""}
+	}
+	if n.Pricing == (Pricing{}) {
+		n.Pricing = DefaultPricing()
+	}
+	return n
+}
+
+func sortedInts(v []int) []int {
+	out := append([]int(nil), v...)
+	sort.Ints(out)
+	j := 0
+	for i, x := range out {
+		if i == 0 || x != out[j-1] {
+			out[j] = x
+			j++
+		}
+	}
+	return out[:j]
+}
+
+func sortedStrings(v []string) []string {
+	if v == nil {
+		return nil
+	}
+	out := append([]string(nil), v...)
+	sort.Strings(out)
+	j := 0
+	for i, x := range out {
+		if i == 0 || x != out[j-1] {
+			out[j] = x
+			j++
+		}
+	}
+	return out[:j]
+}
+
+// Validate reports the first problem with the space. Cross-knob rules
+// are conservative: every combination the domains can produce must be
+// materializable, so a bad combination is rejected here rather than
+// silently skipped during enumeration.
+func (s *Space) Validate() error {
+	if s.Machine == "" {
+		return fmt.Errorf("configsearch: space needs a machine")
+	}
+	if len(s.Backends) == 0 {
+		return fmt.Errorf("configsearch: space needs at least one backend")
+	}
+	hasVast := false
+	for _, b := range s.Backends {
+		if !knownBackends[b] {
+			return fmt.Errorf("configsearch: unknown backend %q", b)
+		}
+		if b == "vast" {
+			hasVast = true
+		}
+	}
+	checkInts := func(name string, dom []int, min int) error {
+		if dom != nil && len(dom) == 0 {
+			return fmt.Errorf("configsearch: empty %s domain", name)
+		}
+		for _, v := range dom {
+			if v < min {
+				return fmt.Errorf("configsearch: %s value %d below %d", name, v, min)
+			}
+		}
+		return nil
+	}
+	if err := checkInts("nodes", s.Nodes, 1); err != nil {
+		return err
+	}
+	for _, k := range []struct {
+		name string
+		dom  []int
+	}{
+		{"cnodes", s.CNodes}, {"nconnect", s.Nconnect}, {"dboxes", s.DBoxes},
+		{"stripe_width", s.StripeWidth}, {"ec_parity", s.ECParity},
+		{"client_cache_mib", s.ClientCacheMiB}, {"max_inflight", s.MaxInflight},
+	} {
+		if err := checkInts(k.name, k.dom, 0); err != nil {
+			return err
+		}
+	}
+	if s.RepairQoS != nil && len(s.RepairQoS) == 0 {
+		return fmt.Errorf("configsearch: empty repair_qos domain")
+	}
+	for _, q := range s.RepairQoS {
+		if q != "" && q != QoSThrottled && q != QoSAggressive {
+			return fmt.Errorf("configsearch: unknown repair_qos %q", q)
+		}
+	}
+	// VAST-only knobs need the vast backend in play: a space that sweeps
+	// EC parity over lustre alone would explore nothing.
+	vastOnly := []struct {
+		name string
+		set  bool
+	}{
+		{"cnodes", nonDefaultInts(s.CNodes)},
+		{"nconnect", nonDefaultInts(s.Nconnect)},
+		{"dboxes", nonDefaultInts(s.DBoxes)},
+		{"stripe_width", nonDefaultInts(s.StripeWidth)},
+		{"ec_parity", nonDefaultInts(s.ECParity)},
+		{"client_cache_mib", nonDefaultInts(s.ClientCacheMiB)},
+	}
+	for _, k := range vastOnly {
+		if k.set && !hasVast {
+			return fmt.Errorf("configsearch: %s applies to the vast backend only; backends %v include none", k.name, s.Backends)
+		}
+	}
+	if hasVast && (nonDefaultInts(s.CNodes) || nonDefaultInts(s.Nconnect) ||
+		nonDefaultInts(s.DBoxes) || nonDefaultInts(s.StripeWidth) || nonDefaultInts(s.ECParity)) && s.Machine != "Wombat" {
+		return fmt.Errorf("configsearch: vast deployment knobs are mutable on Wombat only (machine %s)", s.Machine)
+	}
+	// EC geometry: stripe width + parity strips must fit the enclosure
+	// count for every combination the domains can produce. Widths or
+	// parities without an explicit dboxes domain resolve against the
+	// deployment default.
+	if nonDefaultInts(s.StripeWidth) || nonDefaultInts(s.ECParity) {
+		minDB := defaultVASTDBoxes
+		for i, db := range s.DBoxes {
+			r := resolvedDBoxes(db)
+			if i == 0 || r < minDB {
+				minDB = r
+			}
+		}
+		for _, w := range domainOr(s.StripeWidth) {
+			for _, p := range domainOr(s.ECParity) {
+				rw, rp := resolvedStripeWidth(w), resolvedParity(p, minDB)
+				if rw+rp > minDB {
+					return fmt.Errorf("configsearch: stripe width %d + parity %d exceeds the %d-enclosure server count", rw, rp, minDB)
+				}
+			}
+		}
+	}
+	if len(s.RepairQoS) > 1 && s.Fault == nil {
+		return fmt.Errorf("configsearch: repair_qos varies only under a fault scenario; add a fault block")
+	}
+	if s.Fault != nil {
+		if err := s.Fault.Validate(); err != nil {
+			return err
+		}
+	}
+	return s.Pricing.validate()
+}
+
+// nonDefaultInts reports whether the domain holds any explicit override.
+func nonDefaultInts(dom []int) bool {
+	for _, v := range dom {
+		if v != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// domainOr returns the domain, or the single default when nil.
+func domainOr(dom []int) []int {
+	if len(dom) == 0 {
+		return []int{0}
+	}
+	return dom
+}
+
+// Enumerate expands the space into its canonicalized, deduplicated
+// candidate list in a deterministic order: backends, then nodes, then
+// each VAST knob, each ascending. Inert knobs (VAST knobs on other
+// backends, repair QoS without a fault) are canonicalized to their
+// defaults first, so the cross product never multiplies configurations
+// the testbed cannot distinguish.
+func (s *Space) Enumerate() ([]Candidate, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	n := s.normalized()
+	var out []Candidate
+	seen := map[Candidate]bool{}
+	for _, be := range n.Backends {
+		for _, nodes := range n.Nodes {
+			for _, cn := range n.CNodes {
+				for _, nc := range n.Nconnect {
+					for _, db := range n.DBoxes {
+						for _, sw := range n.StripeWidth {
+							for _, p := range n.ECParity {
+								for _, q := range n.RepairQoS {
+									for _, cc := range n.ClientCacheMiB {
+										for _, inf := range n.MaxInflight {
+											c := Candidate{
+												Backend: be, Nodes: nodes, CNodes: cn, Nconnect: nc,
+												DBoxes: db, StripeWidth: sw, ECParity: p,
+												RepairQoS: q, ClientCacheMiB: cc, MaxInflight: inf,
+											}
+											c = s.canonical(c)
+											if !seen[c] {
+												seen[c] = true
+												out = append(out, c)
+											}
+										}
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// canonical zeroes the knobs the candidate's backend cannot express.
+func (s *Space) canonical(c Candidate) Candidate {
+	if !vastKnob(c.Backend) {
+		c.CNodes, c.Nconnect, c.DBoxes = 0, 0, 0
+		c.StripeWidth, c.ECParity, c.ClientCacheMiB = 0, 0, 0
+	}
+	if s.Fault == nil {
+		c.RepairQoS = ""
+	} else if c.RepairQoS == "" {
+		c.RepairQoS = QoSThrottled
+	}
+	return c
+}
+
+// Cost prices a candidate with the space's per-resource model. EC parity
+// raises the enclosure bill by the redundancy overhead (w+p)/w — wider
+// stripes amortize parity, more parity strips cost raw capacity.
+func (s *Space) Cost(c Candidate) float64 {
+	p := s.Pricing
+	if p == (Pricing{}) {
+		p = DefaultPricing()
+	}
+	cost := p.ClientNodeHr * float64(c.Nodes)
+	switch c.Backend {
+	case "vast":
+		cn := c.CNodes
+		if cn == 0 {
+			cn = defaultVASTCNodes
+		}
+		db := resolvedDBoxes(c.DBoxes)
+		w := resolvedStripeWidth(c.StripeWidth)
+		par := resolvedParity(c.ECParity, c.DBoxes)
+		overhead := float64(w+par) / float64(w)
+		cost += p.ServerHr*float64(cn) + p.EnclosureHr*float64(db)*overhead
+		cost += p.CacheGiBHr * float64(c.ClientCacheMiB) / 1024 * float64(c.Nodes)
+	case "lustre":
+		cost += p.ServerHr*lustreServers + p.EnclosureHr*lustreEnclosures
+	case "gpfs":
+		cost += p.ServerHr * gpfsServers
+	case "nvme", "unifyfs":
+		cost += p.EnclosureHr * float64(c.Nodes)
+	}
+	return cost
+}

@@ -1,0 +1,182 @@
+package configsearch
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func validSpaceJSON() string {
+	return `{
+		"machine": "Wombat",
+		"backends": ["vast", "nvme"],
+		"nodes": [2],
+		"cnodes": [2, 4, 8],
+		"nconnect": [4, 16],
+		"dboxes": [4],
+		"stripe_width": [1, 2],
+		"ec_parity": [1, 2],
+		"max_inflight": [16, 64],
+		"pricing": {"client_node_hr": 1, "server_hr": 3, "enclosure_hr": 8}
+	}`
+}
+
+func TestParseSpaceValid(t *testing.T) {
+	s, err := ParseSpace([]byte(validSpaceJSON()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Machine != "Wombat" || len(s.Backends) != 2 {
+		t.Fatalf("parsed space mangled: %+v", s)
+	}
+	cands, err := s.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// vast: 3 cnodes × 2 nconnect × 1 dboxes × 2 stripes × 2 parities × 2 caps = 48;
+	// nvme canonicalizes every vast knob away: 2 caps = 2.
+	if len(cands) != 50 {
+		t.Fatalf("enumerated %d candidates, want 50", len(cands))
+	}
+}
+
+func TestParseSpaceRejections(t *testing.T) {
+	cases := []struct {
+		name, in, wantErr string
+	}{
+		{"unknown field", `{"machine":"Wombat","backends":["vast"],"nconect":[4]}`, "unknown field"},
+		{"trailing data", validSpaceJSON() + `{"machine":"Ruby"}`, "trailing data"},
+		{"empty backends", `{"machine":"Wombat","backends":[]}`, "at least one backend"},
+		{"empty knob domain", `{"machine":"Wombat","backends":["vast"],"cnodes":[]}`, "empty cnodes domain"},
+		{"empty nodes domain", `{"machine":"Wombat","backends":["vast"],"nodes":[]}`, "empty nodes domain"},
+		{"unknown backend", `{"machine":"Wombat","backends":["ceph"]}`, "unknown backend"},
+		{"no machine", `{"backends":["vast"]}`, "needs a machine"},
+		{"stripe too wide", `{"machine":"Wombat","backends":["vast"],"dboxes":[4],"stripe_width":[3],"ec_parity":[2]}`, "exceeds the 4-enclosure server count"},
+		{"stripe default dboxes", `{"machine":"Wombat","backends":["vast"],"stripe_width":[4],"ec_parity":[1]}`, "exceeds the 4-enclosure server count"},
+		{"ec on wrong backend", `{"machine":"Ruby","backends":["lustre"],"ec_parity":[2]}`, "vast backend only"},
+		{"vast knobs off wombat", `{"machine":"Lassen","backends":["vast"],"cnodes":[4]}`, "Wombat only"},
+		{"qos without fault", `{"machine":"Wombat","backends":["vast"],"repair_qos":["throttled","aggressive"]}`, "fault scenario"},
+		{"bad qos", `{"machine":"Wombat","backends":["vast"],"repair_qos":["gentle"]}`, "unknown repair_qos"},
+		{"bad fault kind", `{"machine":"Wombat","backends":["vast"],"fault":{"kind":"meteor","at":"1s"}}`, "unknown fault kind"},
+		{"fault without time", `{"machine":"Wombat","backends":["vast"],"fault":{"kind":"unit-fail"}}`, "positive time"},
+		{"derate factor", `{"machine":"Wombat","backends":["vast"],"fault":{"kind":"link-derate","at":"1s","factor":1.5}}`, "out of (0,1]"},
+		{"negative nodes", `{"machine":"Wombat","backends":["vast"],"nodes":[0]}`, "below 1"},
+		{"negative pricing", `{"machine":"Wombat","backends":["vast"],"pricing":{"server_hr":-1}}`, "negative pricing"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseSpace([]byte(tc.in))
+			if err == nil {
+				t.Fatalf("accepted %s", tc.in)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestSpaceRoundTrip(t *testing.T) {
+	in := `{"machine":"Wombat","backends":["vast"],"nodes":[2,4],"cnodes":[4,8],
+		"repair_qos":["throttled","aggressive"],
+		"fault":{"kind":"unit-fail","at":"250ms"},
+		"pricing":{"server_hr":2.5}}`
+	s, err := ParseSpace([]byte(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ParseSpace(buf)
+	if err != nil {
+		t.Fatalf("re-parse of own marshal failed: %v\n%s", err, buf)
+	}
+	if s2.Machine != s.Machine || len(s2.Backends) != len(s.Backends) ||
+		s2.Fault == nil || s2.Fault.At != s.Fault.At || s2.Pricing != s.Pricing {
+		t.Fatalf("round trip mangled the space:\n%+v\n%+v", s, s2)
+	}
+}
+
+func TestEnumerateCanonicalizesInertKnobs(t *testing.T) {
+	s := Space{Machine: "Wombat", Backends: []string{"nvme", "vast"}, CNodes: []int{2, 4}}
+	cands, err := s.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nvme := 0
+	for _, c := range cands {
+		if c.Backend == "nvme" {
+			nvme++
+			if c.CNodes != 0 {
+				t.Fatalf("nvme candidate kept a vast knob: %+v", c)
+			}
+		}
+	}
+	if nvme != 1 {
+		t.Fatalf("nvme collapsed to %d candidates, want 1", nvme)
+	}
+	// Without a fault, repair QoS canonicalizes away entirely.
+	for _, c := range cands {
+		if c.RepairQoS != "" {
+			t.Fatalf("healthy space kept a repair QoS: %+v", c)
+		}
+	}
+}
+
+func TestEnumerateDeterministicOrder(t *testing.T) {
+	s := Space{Machine: "Wombat", Backends: []string{"vast", "nvme"},
+		Nodes: []int{4, 2}, CNodes: []int{8, 2}, MaxInflight: []int{64, 16}}
+	a, err := s.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shuffled domain listing must not change enumeration order.
+	s2 := Space{Machine: "Wombat", Backends: []string{"nvme", "vast"},
+		Nodes: []int{2, 4}, CNodes: []int{2, 8}, MaxInflight: []int{16, 64}}
+	b, err := s2.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("order differs at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	s := Space{Machine: "Wombat", Backends: []string{"vast"}}
+	s.Pricing = DefaultPricing()
+	base := s.Cost(Candidate{Backend: "vast", Nodes: 2})
+	bigger := s.Cost(Candidate{Backend: "vast", Nodes: 2, CNodes: 16})
+	if bigger <= base {
+		t.Fatalf("more CNodes not more expensive: %.2f vs %.2f", bigger, base)
+	}
+	// Wider stripes amortize parity: same parity, wider stripe, cheaper.
+	narrow := s.Cost(Candidate{Backend: "vast", Nodes: 2, DBoxes: 4, StripeWidth: 1, ECParity: 2})
+	wide := s.Cost(Candidate{Backend: "vast", Nodes: 2, DBoxes: 4, StripeWidth: 2, ECParity: 2})
+	if wide >= narrow {
+		t.Fatalf("wider stripe not cheaper: %.2f vs %.2f", wide, narrow)
+	}
+	if s.Cost(Candidate{Backend: "nvme", Nodes: 2}) >= base {
+		t.Fatal("node-local nvme should be cheaper than a vast cluster")
+	}
+}
+
+func TestCandidateString(t *testing.T) {
+	c := Candidate{Backend: "vast", Nodes: 2, CNodes: 4, Nconnect: 16, DBoxes: 4,
+		StripeWidth: 2, ECParity: 1, RepairQoS: "aggressive", ClientCacheMiB: 4096, MaxInflight: 64}
+	want := "vast n2 cn4 nc16 db4 sw2 p1 aggressive cc4096 if64"
+	if got := c.String(); got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+	min := Candidate{Backend: "nvme", Nodes: 2}
+	if got := min.String(); got != "nvme n2" {
+		t.Fatalf("String() = %q, want %q", got, "nvme n2")
+	}
+}

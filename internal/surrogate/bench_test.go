@@ -1,0 +1,48 @@
+package surrogate
+
+import "testing"
+
+// BenchmarkSurrogateScore measures the cost of scoring one candidate
+// configuration — the number that decides how large a knob space the
+// what-if explorer can afford to sweep analytically. The configs/sec
+// metric is recorded into BENCH_traffic.json by `make bench`; the search
+// layer assumes ≥10k configs/sec.
+func BenchmarkSurrogateScore(b *testing.B) {
+	m := NewModel()
+	dep := Deployment{
+		Name:            "bench",
+		Nodes:           2,
+		PerNodeWriteBps: 9.6e9,
+		PerNodeReadBps:  9.6e9,
+		WritePools: []Pool{
+			{Name: "rails", Class: ClientClass, Bps: 100e9},
+			{Name: "cnode-nic", Class: ServerClass, Bps: 100e9},
+			{Name: "reduce", Class: ServerClass, Bps: 8e9},
+			{Name: "fabric-up", Class: FabricClass, Bps: 25e9},
+			{Name: "scm", Class: DeviceClass, Bps: 16e9},
+		},
+		ReadPools: []Pool{
+			{Name: "rails", Class: ClientClass, Bps: 100e9},
+			{Name: "cnode-nic", Class: ServerClass, Bps: 100e9},
+			{Name: "fabric-down", Class: FabricClass, Bps: 25e9},
+			{Name: "qlc", Class: DeviceClass, Bps: 140.8e9},
+		},
+		WriteOverheadSec: 150e-6,
+		ReadOverheadSec:  250e-6,
+		MetaSec:          45e-6,
+	}
+	streams := []Stream{
+		{Name: "ckpt", Kind: Write, RateHz: 3000, Bytes: 1 << 20, MaxInflight: 64, Burst: 1},
+		{Name: "scan", Kind: Read, RateHz: 400, Bytes: 1 << 20, MaxInflight: 16, Burst: 1},
+		{Name: "dash", Kind: Meta, RateHz: 200, Burst: 1},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := m.Score(dep, streams)
+		if p.GoodputBps <= 0 {
+			b.Fatal("degenerate prediction")
+		}
+	}
+	b.ReportMetric(1e9/float64(b.Elapsed().Nanoseconds())*float64(b.N), "configs/sec")
+}

@@ -1,0 +1,156 @@
+package surrogate
+
+import "math"
+
+// Calibration: the surrogate's coefficients have physical defaults (the
+// idealized η=1 roofline), but a handful of DES probe runs pin down how
+// much of the nameplate bandwidth the simulated protocol stacks really
+// deliver and how fat the latency tails run. Fit is a deterministic
+// least-squares grid refinement: it scans a fixed coefficient lattice in
+// a fixed order, keeps the first strict improvement of the squared
+// log-error, and therefore returns byte-identical coefficients for the
+// same probes on every run — a calibration that moved between CI runs
+// would poison golden files downstream.
+
+// Probe is one DES observation: a deployment, its offered load, and the
+// measured report to fit against.
+type Probe struct {
+	Dep     Deployment
+	Streams []Stream
+	// GoodputBps and P99Sec are the DES-measured values.
+	GoodputBps float64
+	P99Sec     float64
+}
+
+// logErr is the squared log-ratio — scale-free, so a 2 GB/s miss on a
+// 20 GB/s probe weighs the same as 0.1 GB/s on 1 GB/s.
+func logErr(pred, meas float64) float64 {
+	if pred <= 0 || meas <= 0 {
+		return 25 // ~e^5 ratio: effectively "completely wrong"
+	}
+	d := math.Log(pred / meas)
+	return d * d
+}
+
+// goodputErr sums the squared log-error of predicted goodput over probes.
+func goodputErr(m Model, probes []Probe) float64 {
+	e := 0.0
+	for _, p := range probes {
+		e += logErr(m.Score(p.Dep, p.Streams).GoodputBps, p.GoodputBps)
+	}
+	return e
+}
+
+// p99Err sums the squared log-error of predicted merged p99 over probes.
+func p99Err(m Model, probes []Probe) float64 {
+	e := 0.0
+	for _, p := range probes {
+		e += logErr(m.Score(p.Dep, p.Streams).P99Sec, p.P99Sec)
+	}
+	return e
+}
+
+// etaGrid is the efficiency lattice Fit scans. It includes 1.0 (the
+// default), so a fit can never be worse than the uncalibrated model on
+// its own training probes.
+var etaGrid = []float64{0.70, 0.75, 0.80, 0.85, 0.90, 0.95, 1.00}
+
+// tailGrid is the tail-factor lattice.
+var tailGrid = []float64{1.0, 1.1, 1.15, 1.25, 1.5, 1.75, 2.0, 2.2, 2.5, 3.0, 3.5, 4.0}
+
+// Fit returns coefficients refined against the probes: first the three
+// efficiency classes (client, server∪fabric, device) against measured
+// goodput, then the two tail factors against measured p99 with the
+// efficiencies held. Deterministic: fixed grids, fixed scan order, strict
+// improvement required to move off the base coefficients.
+func Fit(base Coeffs, probes []Probe) Coeffs {
+	if len(probes) == 0 {
+		return base
+	}
+	best := base
+	bestErr := goodputErr(Model{Coeffs: base}, probes)
+	for _, ec := range etaGrid {
+		for _, es := range etaGrid {
+			for _, ed := range etaGrid {
+				c := base
+				c.EtaClient, c.EtaServer, c.EtaFabric, c.EtaDevice = ec, es, es, ed
+				if e := goodputErr(Model{Coeffs: c}, probes); e < bestErr-1e-12 {
+					best, bestErr = c, e
+				}
+			}
+		}
+	}
+	tbest := best
+	tbestErr := p99Err(Model{Coeffs: best}, probes)
+	for _, tq := range tailGrid {
+		for _, ts := range tailGrid {
+			c := best
+			c.TailQueue, c.TailSat = tq, ts
+			if c.Validate() != nil {
+				continue
+			}
+			if e := p99Err(Model{Coeffs: c}, probes); e < tbestErr-1e-12 {
+				tbest, tbestErr = c, e
+			}
+		}
+	}
+	return tbest
+}
+
+// RankCorrelation returns Spearman's ρ between two metric slices — the
+// differential tests' yardstick for "does the surrogate order candidates
+// the way the DES does". Ties share the average rank. Returns 0 for
+// fewer than two points.
+func RankCorrelation(a, b []float64) float64 {
+	if len(a) != len(b) || len(a) < 2 {
+		return 0
+	}
+	ra, rb := ranks(a), ranks(b)
+	var ma, mb float64
+	for i := range ra {
+		ma += ra[i]
+		mb += rb[i]
+	}
+	ma /= float64(len(ra))
+	mb /= float64(len(rb))
+	var cov, va, vb float64
+	for i := range ra {
+		da, db := ra[i]-ma, rb[i]-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va <= 0 || vb <= 0 {
+		return 0
+	}
+	return cov / math.Sqrt(va*vb)
+}
+
+// ranks returns average ranks (1-based) with ties averaged.
+func ranks(v []float64) []float64 {
+	n := len(v)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	// Insertion sort by value, then index: deterministic and n is small.
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && (v[idx[j]] < v[idx[j-1]] ||
+			(v[idx[j]] == v[idx[j-1]] && idx[j] < idx[j-1])); j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	r := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && v[idx[j+1]] == v[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			r[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return r
+}

@@ -1,0 +1,476 @@
+// Package surrogate is a closed-form queueing/roofline predictor for the
+// storage deployments the testbeds simulate. Where the DES spends
+// milliseconds faithfully fair-sharing every flow, the surrogate spends
+// microseconds on three classical approximations:
+//
+//   - Roofline capacity: a deployment is a chain of bandwidth pools
+//     (client NICs and connection pipes, protocol-server NICs and reduce
+//     engines, the CBox↔DBox fabric, the device pools). The sustainable
+//     rate of a direction is the minimum pool, each derated by a per-class
+//     efficiency coefficient (the calibratable gap between nameplate
+//     bandwidth and what a real protocol stack delivers).
+//   - M/G/1-PS latency: below saturation a stream's sojourn time is its
+//     uncontended service time inflated by 1/(1-ρ) — the processor-sharing
+//     mean, insensitive to the service distribution. Above saturation the
+//     admission cap K pins the in-flight population, so a request's
+//     latency is K·B/rate: the bandwidth-delay product of a full queue.
+//   - Admission/shedding saturation: an open-loop tenant offering more
+//     than its fair share of the bottleneck sheds the excess; shares at
+//     saturation follow the in-flight caps (the DES fair-shares per flow,
+//     and the cap bounds each tenant's flow count).
+//
+// The prediction (goodput, merged p99, shed fraction) is exactly the
+// tuple the traffic engine reports, so a configuration-search layer can
+// score thousands of candidate deployments analytically and reserve the
+// DES for the handful that matter. Everything here is pure float
+// arithmetic over the inputs: no randomness, no maps, no global state —
+// byte-identical results on every run and platform.
+package surrogate
+
+import (
+	"fmt"
+	"math"
+)
+
+// PoolClass buckets a bandwidth pool by which part of the stack provides
+// it; the per-class efficiency coefficients attach here.
+type PoolClass string
+
+// Pool classes.
+const (
+	// ClientClass pools are client-side: node NICs, NFS connection pipes.
+	ClientClass PoolClass = "client"
+	// ServerClass pools are protocol-server side: CNode/OSS NIC banks,
+	// ingest-reduction engines.
+	ServerClass PoolClass = "server"
+	// FabricClass pools are internal interconnects (CBox↔DBox NVMe-oF).
+	FabricClass PoolClass = "fabric"
+	// DeviceClass pools are the storage media (SCM, QLC, OST spindles).
+	DeviceClass PoolClass = "device"
+)
+
+// Pool is one aggregate bandwidth resource on a data path.
+type Pool struct {
+	// Name identifies the pool in debug output ("reduce", "fabric-up").
+	Name string
+	// Class selects the efficiency coefficient applied to Bps.
+	Class PoolClass
+	// Bps is the pool's nameplate aggregate bandwidth, bytes/second.
+	Bps float64
+}
+
+// Deployment is the analytical view of one materialized configuration:
+// the per-direction pool chains plus the per-node and per-stream ceilings
+// the transports impose.
+type Deployment struct {
+	// Name labels the deployment in errors and debug output.
+	Name string
+	// Nodes is the client node count; per-node ceilings scale by it.
+	Nodes int
+	// PerNodeWriteBps/PerNodeReadBps cap one node's injection rate
+	// (min of node NIC and its connection pipe).
+	PerNodeWriteBps, PerNodeReadBps float64
+	// PerStreamWriteBps/PerStreamReadBps cap a single stream (stripe-1
+	// files on Lustre, per-connection ceilings on TCP mounts). 0 = none.
+	PerStreamWriteBps, PerStreamReadBps float64
+	// WritePools/ReadPools are the shared pools of each direction.
+	WritePools, ReadPools []Pool
+	// WriteOverheadSec/ReadOverheadSec are the fixed per-request
+	// latencies of a data request (RPC rounds, metadata lookups, device
+	// op latency, path propagation), seconds.
+	WriteOverheadSec, ReadOverheadSec float64
+	// MetaSec is the latency of one metadata round trip, seconds.
+	MetaSec float64
+
+	// Degraded-window terms, all zero for a healthy run. DegradedFrac is
+	// the fraction of the window spent with a failed unit, RebuildBps the
+	// background reconstruction draw on the pools during that window, and
+	// DegradedReadAmp the read-amplification of EC-decoded reads
+	// ((w+p-1)/w surviving strips fetched per strip served).
+	DegradedFrac    float64
+	RebuildBps      float64
+	DegradedReadAmp float64
+}
+
+// StreamKind is the direction of a workload stream.
+type StreamKind string
+
+// Stream kinds.
+const (
+	// Write streams move payload client→servers.
+	Write StreamKind = "write"
+	// Read streams move payload servers→client.
+	Read StreamKind = "read"
+	// Meta streams are metadata round trips, no payload.
+	Meta StreamKind = "meta"
+)
+
+// Stream is the analytical view of one tenant's offered load.
+type Stream struct {
+	// Name labels the stream in per-stream predictions.
+	Name string
+	// Kind is the direction.
+	Kind StreamKind
+	// RateHz is the offered request rate, requests/second.
+	RateHz float64
+	// Bytes is the payload of one request (0 for Meta).
+	Bytes float64
+	// MaxInflight is the tenant's admission cap (0 = uncapped).
+	MaxInflight int
+	// Burst is the arrival-process burstiness: 0 for deterministic
+	// spacing, 1 for Poisson, >1 for bursty (on/off, diurnal peaks). It
+	// scales the queueing contribution to the p99.
+	Burst float64
+}
+
+// Coeffs are the surrogate's free coefficients. The Eta* efficiencies
+// derate each pool class from nameplate to deliverable bandwidth; the
+// Tail* factors inflate mean sojourn times to p99 estimates. Defaults are
+// the idealized model (no protocol losses); Fit tightens them against DES
+// probe runs.
+type Coeffs struct {
+	EtaClient, EtaServer, EtaFabric, EtaDevice float64
+	// TailQueue is the p99/mean inflation of an uncontended stream whose
+	// arrivals queue stochastically (scaled by Stream.Burst).
+	TailQueue float64
+	// TailSat is the p99/mean inflation at saturation, where the full
+	// admission queue concentrates latencies near K·B/rate.
+	TailSat float64
+}
+
+// DefaultCoeffs returns the uncalibrated (idealized) coefficients.
+func DefaultCoeffs() Coeffs {
+	return Coeffs{
+		EtaClient: 1, EtaServer: 1, EtaFabric: 1, EtaDevice: 1,
+		TailQueue: 2.2, TailSat: 1.15,
+	}
+}
+
+// Validate reports the first problem with the coefficients.
+func (c Coeffs) Validate() error {
+	switch {
+	case c.EtaClient <= 0 || c.EtaServer <= 0 || c.EtaFabric <= 0 || c.EtaDevice <= 0:
+		return fmt.Errorf("surrogate: efficiencies must be positive")
+	case c.EtaClient > 1 || c.EtaServer > 1 || c.EtaFabric > 1 || c.EtaDevice > 1:
+		return fmt.Errorf("surrogate: efficiencies cannot exceed 1")
+	case c.TailQueue < 1 || c.TailSat < 1:
+		return fmt.Errorf("surrogate: tail factors must be >= 1")
+	}
+	return nil
+}
+
+// Model scores deployments with a fixed coefficient set.
+type Model struct {
+	Coeffs Coeffs
+}
+
+// NewModel returns a model with the default coefficients.
+func NewModel() Model { return Model{Coeffs: DefaultCoeffs()} }
+
+// StreamPrediction is the per-stream slice of a prediction.
+type StreamPrediction struct {
+	Name string
+	// DeliveredBps is the predicted payload goodput, bytes/second.
+	DeliveredBps float64
+	// MeanSec and P99Sec are the predicted completion latencies.
+	MeanSec, P99Sec float64
+	// ShedFrac is the predicted fraction of offered requests refused by
+	// admission control.
+	ShedFrac float64
+	// CompletionHz is the predicted completion rate, requests/second.
+	CompletionHz float64
+}
+
+// Prediction is the analytical counterpart of a traffic.Report.
+type Prediction struct {
+	// GoodputBps sums delivered payload bandwidth over data streams.
+	GoodputBps float64
+	// P99Sec is the p99 of the merged completion-latency distribution.
+	P99Sec float64
+	// ShedFrac is the offered-weighted shed fraction.
+	ShedFrac float64
+	// Streams carries the per-stream breakdown, in input order.
+	Streams []StreamPrediction
+}
+
+func (m Model) eta(c PoolClass) float64 {
+	switch c {
+	case ClientClass:
+		return m.Coeffs.EtaClient
+	case ServerClass:
+		return m.Coeffs.EtaServer
+	case FabricClass:
+		return m.Coeffs.EtaFabric
+	case DeviceClass:
+		return m.Coeffs.EtaDevice
+	}
+	return 1
+}
+
+// capacity returns the deliverable bandwidth of one direction: the
+// minimum derated pool, including the aggregated per-node ceiling, with
+// the degraded-window adjustment averaged in.
+func (m Model) capacity(dep *Deployment, write bool) float64 {
+	perNode := dep.PerNodeReadBps
+	pools := dep.ReadPools
+	if write {
+		perNode = dep.PerNodeWriteBps
+		pools = dep.WritePools
+	}
+	c := math.Inf(1)
+	if perNode > 0 && dep.Nodes > 0 {
+		c = perNode * float64(dep.Nodes) * m.Coeffs.EtaClient
+	}
+	for _, p := range pools {
+		if eff := p.Bps * m.eta(p.Class); eff < c {
+			c = eff
+		}
+	}
+	if math.IsInf(c, 1) {
+		c = 0
+	}
+	if f := dep.DegradedFrac; f > 0 {
+		deg := c - dep.RebuildBps
+		if deg < 0 {
+			deg = 0
+		}
+		if !write && dep.DegradedReadAmp > 1 {
+			deg /= dep.DegradedReadAmp
+		}
+		c = (1-f)*c + f*deg
+	}
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// waterfill splits capacity C across streams by weight, never granting a
+// stream more than its demand; freed capacity cascades to the others.
+func waterfill(C float64, demand, weight []float64) []float64 {
+	granted := make([]float64, len(demand))
+	active := make([]bool, len(demand))
+	n := 0
+	for i, d := range demand {
+		if d > 0 {
+			active[i] = true
+			n++
+		}
+	}
+	rem := C
+	for n > 0 {
+		wsum := 0.0
+		for i := range demand {
+			if active[i] {
+				wsum += weight[i]
+			}
+		}
+		if wsum <= 0 {
+			break
+		}
+		satisfied := false
+		for i := range demand {
+			if active[i] && rem*weight[i]/wsum >= demand[i] {
+				granted[i] = demand[i]
+				rem -= demand[i]
+				active[i] = false
+				n--
+				satisfied = true
+			}
+		}
+		if !satisfied {
+			for i := range demand {
+				if active[i] {
+					granted[i] = rem * weight[i] / wsum
+				}
+			}
+			break
+		}
+	}
+	return granted
+}
+
+// Score predicts the traffic engine's report for one deployment and
+// offered load. Pure arithmetic: ~1µs per call, no allocation beyond the
+// returned slices.
+func (m Model) Score(dep Deployment, streams []Stream) Prediction {
+	var pred Prediction
+	pred.Streams = make([]StreamPrediction, len(streams))
+
+	for _, write := range []bool{true, false} {
+		kind := Read
+		perStream := dep.PerStreamReadBps
+		perNode := dep.PerNodeReadBps
+		overhead := dep.ReadOverheadSec
+		if write {
+			kind = Write
+			perStream = dep.PerStreamWriteBps
+			perNode = dep.PerNodeWriteBps
+			overhead = dep.WriteOverheadSec
+		}
+		C := m.capacity(&dep, write)
+
+		// A stream's aggregate rate is also capped by its own transport
+		// pipes: one mount per node, each behind the per-stream ceiling
+		// (connection pipes on NFS, stripe-1 OST paths on Lustre). Demand
+		// beyond that never reaches the shared pools — it queues at the
+		// mount and is shed by admission control.
+		nodes := float64(dep.Nodes)
+		if nodes < 1 {
+			nodes = 1
+		}
+		lim := math.Inf(1)
+		if perStream > 0 {
+			lim = perStream * m.Coeffs.EtaClient * nodes
+		}
+		if perNode > 0 && perNode*m.Coeffs.EtaClient*nodes < lim {
+			lim = perNode * m.Coeffs.EtaClient * nodes
+		}
+
+		idx := make([]int, 0, len(streams))
+		raw := make([]float64, 0, len(streams))
+		demand := make([]float64, 0, len(streams))
+		weight := make([]float64, 0, len(streams))
+		total := 0.0
+		for i, s := range streams {
+			if s.Kind != kind {
+				continue
+			}
+			d := s.RateHz * s.Bytes
+			idx = append(idx, i)
+			raw = append(raw, d)
+			if d > lim {
+				d = lim
+			}
+			demand = append(demand, d)
+			total += d
+			// At saturation the DES fair-shares per flow, so a tenant's
+			// share follows its in-flight cap; an uncapped open-loop
+			// tenant grows its flow count without bound and crowds out
+			// the capped ones.
+			if s.MaxInflight > 0 {
+				weight = append(weight, float64(s.MaxInflight))
+			} else {
+				weight = append(weight, 1e12)
+			}
+		}
+		if len(idx) == 0 {
+			continue
+		}
+		rho := total / C
+		granted := waterfill(C, demand, weight)
+		for k, i := range idx {
+			s := streams[i]
+			sp := &pred.Streams[i]
+			sp.Name = s.Name
+			sp.DeliveredBps = granted[k]
+			streamCap := C
+			if perStream > 0 && perStream*m.Coeffs.EtaClient < streamCap {
+				streamCap = perStream * m.Coeffs.EtaClient
+			}
+			if perNode > 0 && perNode*m.Coeffs.EtaClient < streamCap {
+				streamCap = perNode * m.Coeffs.EtaClient
+			}
+			if granted[k] >= raw[k]*0.9999 && rho < 1 {
+				// Uncontended: M/G/1-PS sojourn, tail scaled by arrival
+				// burstiness.
+				slow := 1 - rho
+				if slow < 0.05 {
+					slow = 0.05
+				}
+				mean := overhead + s.Bytes/streamCap/slow
+				sp.MeanSec = mean
+				q := 1 + (m.Coeffs.TailQueue-1)*s.Burst*rho
+				sp.P99Sec = mean * q
+				sp.ShedFrac = 0
+				sp.CompletionHz = s.RateHz
+			} else {
+				// Saturated: the admission cap pins K requests in flight;
+				// each one progresses at delivered/K.
+				K := float64(s.MaxInflight)
+				if K < 1 {
+					// Uncapped at saturation: in-flight grows all window;
+					// stand in with the bandwidth-delay population.
+					K = math.Max(1, s.RateHz*(overhead+s.Bytes/streamCap))
+				}
+				rate := granted[k]
+				if rate < 1 {
+					rate = 1
+				}
+				mean := overhead + s.Bytes*K/rate
+				sp.MeanSec = mean
+				sp.P99Sec = mean * m.Coeffs.TailSat
+				sp.ShedFrac = 1 - granted[k]/raw[k]
+				sp.CompletionHz = rate / math.Max(1, s.Bytes)
+			}
+			pred.GoodputBps += sp.DeliveredBps
+		}
+	}
+
+	// Metadata streams: a round trip against the metadata service. The
+	// fixture loads never saturate it, so only the fixed latency and the
+	// stochastic queueing tail appear.
+	for i, s := range streams {
+		if s.Kind != Meta {
+			continue
+		}
+		sp := &pred.Streams[i]
+		sp.Name = s.Name
+		sp.MeanSec = dep.MetaSec
+		sp.P99Sec = dep.MetaSec * (1 + (m.Coeffs.TailQueue-1)*s.Burst)
+		sp.CompletionHz = s.RateHz
+	}
+
+	pred.P99Sec = m.mergedP99(pred.Streams)
+	var offered, shed float64
+	for i, s := range streams {
+		offered += s.RateHz
+		shed += s.RateHz * pred.Streams[i].ShedFrac
+	}
+	if offered > 0 {
+		pred.ShedFrac = shed / offered
+	}
+	return pred
+}
+
+// mergedP99 approximates the p99 of the pooled completion-latency
+// distribution: each stream contributes an exponential tail whose own p99
+// matches its prediction, weighted by completion rate, and the quantile
+// of the mixture is found by bisection. This mirrors merging the
+// per-tenant sketches the way the experiment harness does.
+func (m Model) mergedP99(sp []StreamPrediction) float64 {
+	const ln100 = 4.605170185988091
+	var wsum, hi float64
+	for _, s := range sp {
+		if s.CompletionHz <= 0 || s.P99Sec <= 0 {
+			continue
+		}
+		wsum += s.CompletionHz
+		if s.P99Sec > hi {
+			hi = s.P99Sec
+		}
+	}
+	if wsum <= 0 || hi <= 0 {
+		return 0
+	}
+	tail := func(x float64) float64 {
+		t := 0.0
+		for _, s := range sp {
+			if s.CompletionHz <= 0 || s.P99Sec <= 0 {
+				continue
+			}
+			t += s.CompletionHz / wsum * math.Exp(-x*ln100/s.P99Sec)
+		}
+		return t
+	}
+	lo, up := 0.0, 2*hi
+	for i := 0; i < 60; i++ {
+		mid := (lo + up) / 2
+		if tail(mid) > 0.01 {
+			lo = mid
+		} else {
+			up = mid
+		}
+	}
+	return (lo + up) / 2
+}

@@ -1,0 +1,205 @@
+package surrogate
+
+import (
+	"math"
+	"testing"
+)
+
+// testDeployment is a two-node deployment with a clear bottleneck: the
+// server pool at 2 GB/s sits below the client side (2×4 GB/s) and the
+// device pool (8 GB/s).
+func testDeployment() Deployment {
+	return Deployment{
+		Name:            "test",
+		Nodes:           2,
+		PerNodeWriteBps: 4e9,
+		PerNodeReadBps:  4e9,
+		WritePools: []Pool{
+			{Name: "server", Class: ServerClass, Bps: 2e9},
+			{Name: "device", Class: DeviceClass, Bps: 8e9},
+		},
+		ReadPools: []Pool{
+			{Name: "server", Class: ServerClass, Bps: 2e9},
+			{Name: "device", Class: DeviceClass, Bps: 8e9},
+		},
+		WriteOverheadSec: 100e-6,
+		ReadOverheadSec:  100e-6,
+		MetaSec:          50e-6,
+	}
+}
+
+func TestScoreUncontended(t *testing.T) {
+	m := NewModel()
+	// 100 req/s × 1 MiB = ~105 MB/s offered against 2 GB/s: far below
+	// saturation, everything is delivered, nothing is shed.
+	st := []Stream{{Name: "w", Kind: Write, RateHz: 100, Bytes: 1 << 20, MaxInflight: 64, Burst: 1}}
+	p := m.Score(testDeployment(), st)
+	want := 100 * float64(int64(1)<<20)
+	if math.Abs(p.GoodputBps-want) > 1 {
+		t.Fatalf("uncontended goodput %.0f, want %.0f", p.GoodputBps, want)
+	}
+	if p.ShedFrac != 0 {
+		t.Fatalf("uncontended shed fraction %.3f, want 0", p.ShedFrac)
+	}
+	if p.P99Sec <= 0 || p.P99Sec > 50e-3 {
+		t.Fatalf("uncontended p99 %.6f out of plausible range", p.P99Sec)
+	}
+}
+
+func TestScoreSaturated(t *testing.T) {
+	m := NewModel()
+	// 10 GB/s offered against a 2 GB/s bottleneck: goodput pins at the
+	// capacity, the rest is shed, and the p99 tracks the full admission
+	// queue K·B/rate.
+	st := []Stream{{Name: "w", Kind: Write, RateHz: 10000, Bytes: 1 << 20, MaxInflight: 64, Burst: 1}}
+	p := m.Score(testDeployment(), st)
+	if math.Abs(p.GoodputBps-2e9) > 1 {
+		t.Fatalf("saturated goodput %.3e, want 2e9", p.GoodputBps)
+	}
+	if p.ShedFrac < 0.7 {
+		t.Fatalf("saturated shed fraction %.3f, want ~0.8", p.ShedFrac)
+	}
+	// K·B/C = 64 MiB / 2 GB/s ≈ 33.6 ms, inflated by the tail factor.
+	if p.P99Sec < 30e-3 || p.P99Sec > 60e-3 {
+		t.Fatalf("saturated p99 %.4f outside the admission-queue band", p.P99Sec)
+	}
+}
+
+func TestScoreSharesFollowInflightCaps(t *testing.T) {
+	m := NewModel()
+	// Two saturating tenants with 3:1 caps split the bottleneck 3:1.
+	st := []Stream{
+		{Name: "big", Kind: Write, RateHz: 10000, Bytes: 1 << 20, MaxInflight: 96, Burst: 1},
+		{Name: "small", Kind: Write, RateHz: 10000, Bytes: 1 << 20, MaxInflight: 32, Burst: 1},
+	}
+	p := m.Score(testDeployment(), st)
+	ratio := p.Streams[0].DeliveredBps / p.Streams[1].DeliveredBps
+	if math.Abs(ratio-3) > 0.01 {
+		t.Fatalf("share ratio %.3f, want 3.0", ratio)
+	}
+}
+
+func TestScoreDirectionsIndependent(t *testing.T) {
+	m := NewModel()
+	st := []Stream{
+		{Name: "w", Kind: Write, RateHz: 10000, Bytes: 1 << 20, MaxInflight: 64, Burst: 1},
+		{Name: "r", Kind: Read, RateHz: 100, Bytes: 1 << 20, MaxInflight: 16, Burst: 1},
+	}
+	p := m.Score(testDeployment(), st)
+	// Write saturation must not shed the uncontended read stream.
+	if p.Streams[1].ShedFrac != 0 {
+		t.Fatalf("read stream shed %.3f despite spare read capacity", p.Streams[1].ShedFrac)
+	}
+}
+
+func TestScoreDegradedWindow(t *testing.T) {
+	m := NewModel()
+	dep := testDeployment()
+	healthy := m.Score(dep, []Stream{{Name: "r", Kind: Read, RateHz: 4000, Bytes: 1 << 20, MaxInflight: 64, Burst: 1}})
+	dep.DegradedFrac = 0.5
+	dep.DegradedReadAmp = 1.5
+	dep.RebuildBps = 0.5e9
+	degraded := m.Score(dep, []Stream{{Name: "r", Kind: Read, RateHz: 4000, Bytes: 1 << 20, MaxInflight: 64, Burst: 1}})
+	if degraded.GoodputBps >= healthy.GoodputBps {
+		t.Fatalf("degraded goodput %.3e not below healthy %.3e", degraded.GoodputBps, healthy.GoodputBps)
+	}
+	if degraded.P99Sec <= healthy.P99Sec {
+		t.Fatalf("degraded p99 %.4f not above healthy %.4f", degraded.P99Sec, healthy.P99Sec)
+	}
+}
+
+func TestScoreCapacityMonotoneInKnobs(t *testing.T) {
+	m := NewModel()
+	st := []Stream{{Name: "w", Kind: Write, RateHz: 10000, Bytes: 1 << 20, MaxInflight: 64, Burst: 1}}
+	prev := 0.0
+	for _, bw := range []float64{1e9, 2e9, 4e9, 8e9, 9e9} {
+		dep := testDeployment()
+		dep.WritePools[0].Bps = bw
+		g := m.Score(dep, st).GoodputBps
+		if g < prev {
+			t.Fatalf("goodput not monotone in server pool bandwidth: %.3e after %.3e", g, prev)
+		}
+		prev = g
+	}
+}
+
+func TestScoreDeterministic(t *testing.T) {
+	m := NewModel()
+	st := []Stream{
+		{Name: "w", Kind: Write, RateHz: 3000, Bytes: 1 << 20, MaxInflight: 64, Burst: 1},
+		{Name: "r", Kind: Read, RateHz: 500, Bytes: 1 << 20, MaxInflight: 16, Burst: 0},
+		{Name: "m", Kind: Meta, RateHz: 100, Burst: 1},
+	}
+	a := m.Score(testDeployment(), st)
+	b := m.Score(testDeployment(), st)
+	if a.GoodputBps != b.GoodputBps || a.P99Sec != b.P99Sec || a.ShedFrac != b.ShedFrac {
+		t.Fatalf("Score is not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestMergedP99SingleStreamConsistent(t *testing.T) {
+	m := NewModel()
+	sp := []StreamPrediction{{Name: "w", P99Sec: 0.040, CompletionHz: 100}}
+	got := m.mergedP99(sp)
+	if math.Abs(got-0.040) > 0.001 {
+		t.Fatalf("single-stream merged p99 %.4f, want its own p99 0.040", got)
+	}
+}
+
+func TestFitDeterministicAndNoWorse(t *testing.T) {
+	dep := testDeployment()
+	st := []Stream{{Name: "w", Kind: Write, RateHz: 10000, Bytes: 1 << 20, MaxInflight: 64, Burst: 1}}
+	// Synthesize probes from a "truth" model with 85% server efficiency
+	// and a fatter saturation tail than the defaults.
+	truth := Model{Coeffs: Coeffs{EtaClient: 1, EtaServer: 0.85, EtaFabric: 0.85, EtaDevice: 1, TailQueue: 2.2, TailSat: 1.5}}
+	var probes []Probe
+	for _, bw := range []float64{1e9, 2e9, 4e9} {
+		d := dep
+		d.WritePools = []Pool{{Name: "server", Class: ServerClass, Bps: bw}, {Name: "device", Class: DeviceClass, Bps: 8e9}}
+		p := truth.Score(d, st)
+		probes = append(probes, Probe{Dep: d, Streams: st, GoodputBps: p.GoodputBps, P99Sec: p.P99Sec})
+	}
+	f1 := Fit(DefaultCoeffs(), probes)
+	f2 := Fit(DefaultCoeffs(), probes)
+	if f1 != f2 {
+		t.Fatalf("Fit not deterministic: %+v vs %+v", f1, f2)
+	}
+	if e0, e1 := goodputErr(Model{Coeffs: DefaultCoeffs()}, probes), goodputErr(Model{Coeffs: f1}, probes); e1 > e0 {
+		t.Fatalf("fit goodput error %.4f worse than uncalibrated %.4f", e1, e0)
+	}
+	if f1.EtaServer != 0.85 {
+		t.Fatalf("fit EtaServer %.2f, want the planted 0.85", f1.EtaServer)
+	}
+	if f1.TailSat != 1.5 {
+		t.Fatalf("fit TailSat %.2f, want the planted 1.5", f1.TailSat)
+	}
+}
+
+func TestRankCorrelation(t *testing.T) {
+	if r := RankCorrelation([]float64{1, 2, 3, 4}, []float64{10, 20, 30, 40}); math.Abs(r-1) > 1e-12 {
+		t.Fatalf("perfect agreement ρ=%.3f, want 1", r)
+	}
+	if r := RankCorrelation([]float64{1, 2, 3, 4}, []float64{40, 30, 20, 10}); math.Abs(r+1) > 1e-12 {
+		t.Fatalf("perfect disagreement ρ=%.3f, want -1", r)
+	}
+	if r := RankCorrelation([]float64{1, 1, 1}, []float64{1, 2, 3}); r != 0 {
+		t.Fatalf("degenerate input ρ=%.3f, want 0", r)
+	}
+}
+
+func TestCoeffsValidate(t *testing.T) {
+	good := DefaultCoeffs()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default coefficients rejected: %v", err)
+	}
+	bad := good
+	bad.EtaServer = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero efficiency accepted")
+	}
+	bad = good
+	bad.TailQueue = 0.5
+	if err := bad.Validate(); err == nil {
+		t.Fatal("sub-1 tail factor accepted")
+	}
+}

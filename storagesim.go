@@ -35,6 +35,7 @@ package storagesim
 
 import (
 	"storagesim/internal/cluster"
+	"storagesim/internal/configsearch"
 	"storagesim/internal/dlio"
 	"storagesim/internal/experiments"
 	"storagesim/internal/faults"
@@ -51,6 +52,7 @@ import (
 	"storagesim/internal/resilience"
 	"storagesim/internal/sim"
 	"storagesim/internal/stats"
+	"storagesim/internal/surrogate"
 	"storagesim/internal/trace"
 	"storagesim/internal/traffic"
 	"storagesim/internal/unifyfs"
@@ -532,4 +534,42 @@ var (
 	// Fig1: the architecture diagrams of Figure 1, generated from the live
 	// deployment parameters.
 	Fig1 = experiments.Fig1
+)
+
+// What-if configuration explorer (internal/configsearch + surrogate):
+// enumerate a typed deployment knob space, score every candidate with the
+// analytical surrogate, DES-verify only the predicted Pareto frontier
+// plus a margin band, report the measured frontier.
+type (
+	// ConfigSpace is a typed deployment knob space.
+	ConfigSpace = configsearch.Space
+	// ConfigCandidate is one fully specified configuration.
+	ConfigCandidate = configsearch.Candidate
+	// ConfigMetrics is one candidate's predicted or measured performance.
+	ConfigMetrics = configsearch.Metrics
+	// WhatIfConfig parameterizes one explorer run.
+	WhatIfConfig = experiments.WhatIfConfig
+	// WhatIfResult is one completed explorer run.
+	WhatIfResult = experiments.WhatIfResult
+	// SurrogateCoeffs are the analytical model's calibratable constants.
+	SurrogateCoeffs = surrogate.Coeffs
+)
+
+var (
+	// ConfigSearch runs the explorer end to end (see cmd/whatif).
+	ConfigSearch = experiments.ConfigSearch
+	// WhatIfTenants is the pinned ckpt/scan/meta tenant mix.
+	WhatIfTenants = experiments.WhatIfTenants
+	// WhatIfFixtureSpace is the pinned Wombat vast-vs-nvme knob space.
+	WhatIfFixtureSpace = experiments.WhatIfFixtureSpace
+	// WhatIfRubySpace is the Ruby vast-vs-lustre knob space.
+	WhatIfRubySpace = experiments.WhatIfRubySpace
+	// FigWhatIf renders both spaces as predicted-vs-measured frontier
+	// panels (paperfigs -fig whatif).
+	FigWhatIf = experiments.FigWhatIf
+	// ParseConfigSpace parses the JSON knob-space format consumed by
+	// `whatif -space`.
+	ParseConfigSpace = configsearch.ParseSpace
+	// ParseConfigObjectives parses a comma-separated objective list.
+	ParseConfigObjectives = configsearch.ParseObjectives
 )
